@@ -1,0 +1,138 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per experiment; see DESIGN.md §4 for the index). Each
+// iteration runs the full experiment; the interesting output is the
+// experiment's own table, which `go run ./cmd/experiments` prints, while
+// these benches give wall-clock and allocation profiles of the pipeline.
+package coradd
+
+import (
+	"sync"
+	"testing"
+
+	"coradd/internal/exp"
+)
+
+var (
+	benchOnce   sync.Once
+	benchSSB    *exp.Env
+	benchSSBAug *exp.Env
+	benchAPB    *exp.Env
+)
+
+func benchEnvs() (*exp.Env, *exp.Env, *exp.Env) {
+	benchOnce.Do(func() {
+		s := exp.QuickScale()
+		benchSSB = exp.NewSSBEnv(s, false)
+		benchSSBAug = exp.NewSSBEnv(s, true)
+		benchAPB = exp.NewAPBEnv(s)
+	})
+	return benchSSB, benchSSBAug, benchAPB
+}
+
+func BenchmarkTable1SelectivityVectors(b *testing.B) {
+	env, _, _ := benchEnvs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = exp.SelectivityVectors(env)
+	}
+}
+
+func BenchmarkTable2Propagation(b *testing.B) {
+	env, _, _ := benchEnvs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range env.W {
+			_ = env.St.PropagatedVector(q)
+		}
+	}
+}
+
+func BenchmarkFig5ILPvsGreedy(b *testing.B) {
+	env, _, _ := benchEnvs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = exp.ILPVersusGreedy(env)
+	}
+}
+
+func BenchmarkFig6ILPScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = exp.ILPSolverScaling([]int{1000, 2500, 5000}, 52, 7)
+	}
+}
+
+func BenchmarkFig7Feedback(b *testing.B) {
+	env, _, _ := benchEnvs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exp.FeedbackVersusOPT(env, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9APB(b *testing.B) {
+	_, _, apbEnv := benchEnvs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exp.APBComparison(apbEnv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10CostModelError(b *testing.B) {
+	env, _, _ := benchEnvs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = exp.CostModelError(env)
+	}
+}
+
+func BenchmarkFig11SSB(b *testing.B) {
+	_, aug, _ := benchEnvs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exp.SSBComparison(aug); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigA2AccessGap(b *testing.B) {
+	env, _, _ := benchEnvs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = exp.AccessPatternGap(env)
+	}
+}
+
+func BenchmarkFig14Maintenance(b *testing.B) {
+	cfg := exp.DefaultMaintenanceConfig()
+	for i := 0; i < b.N; i++ {
+		_, _ = exp.MaintenanceCost(cfg)
+	}
+}
+
+func BenchmarkExtensionA3UpdateCost(b *testing.B) {
+	cfg := exp.DefaultUpdateCostConfig()
+	for i := 0; i < b.N; i++ {
+		_, _ = exp.UpdateCostCMvsBTree(cfg)
+	}
+}
+
+func BenchmarkAblationRelaxation(b *testing.B) {
+	env, _, _ := benchEnvs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = exp.RelaxationError(env, 40)
+	}
+}
+
+func BenchmarkAblationMerging(b *testing.B) {
+	env, _, _ := benchEnvs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = exp.MergeAblation(env)
+	}
+}

@@ -1,0 +1,151 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the simulated substrate and prints them in paper-style
+// rows. See EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Usage:
+//
+//	experiments [-full] [-run id] [-ssbrows n] [-apbrows n]
+//
+// where id selects one experiment: table1, fig5, fig6, fig7, fig9, fig10,
+// fig11, fig13, fig14, relax, merge, all (default all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"coradd/internal/exp"
+)
+
+func main() {
+	full := flag.Bool("full", false, "use the larger paper-like scale (slower)")
+	run := flag.String("run", "all", "experiment id: table1,fig5,fig6,fig7,fig9,fig10,fig11,fig13,fig14,a3,relax,merge,all")
+	ssbRows := flag.Int("ssbrows", 0, "override SSB fact rows")
+	apbRows := flag.Int("apbrows", 0, "override APB fact rows")
+	optQueries := flag.Int("optqueries", 8, "workload size for the Figure 7 OPT brute force")
+	flag.Parse()
+
+	scale := exp.QuickScale()
+	if *full {
+		scale = exp.FullScale()
+	}
+	if *ssbRows > 0 {
+		scale.SSBRows = *ssbRows
+	}
+	if *apbRows > 0 {
+		scale.APBRows = *apbRows
+	}
+
+	want := func(id string) bool { return *run == "all" || strings.EqualFold(*run, id) }
+	out := os.Stdout
+
+	var ssbEnv, ssbAugEnv, apbEnv *exp.Env
+	getSSB := func() *exp.Env {
+		if ssbEnv == nil {
+			ssbEnv = exp.NewSSBEnv(scale, false)
+		}
+		return ssbEnv
+	}
+	getSSBAug := func() *exp.Env {
+		if ssbAugEnv == nil {
+			ssbAugEnv = exp.NewSSBEnv(scale, true)
+		}
+		return ssbAugEnv
+	}
+	getAPB := func() *exp.Env {
+		if apbEnv == nil {
+			apbEnv = exp.NewAPBEnv(scale)
+		}
+		return apbEnv
+	}
+
+	step := func(id string, f func() error) {
+		if !want(id) {
+			return
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "(%s finished in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+
+	step("table1", func() error {
+		_, t1, t2 := exp.SelectivityVectors(getSSB())
+		t1.Print(out)
+		t2.Print(out)
+		return nil
+	})
+	step("fig5", func() error {
+		_, t := exp.ILPVersusGreedy(getSSB())
+		t.Print(out)
+		return nil
+	})
+	step("fig6", func() error {
+		sizes := []int{1000, 2500, 5000, 10000, 20000}
+		if !*full {
+			sizes = []int{1000, 2500, 5000}
+		}
+		_, t := exp.ILPSolverScaling(sizes, 52, scale.Seed)
+		t.Print(out)
+		return nil
+	})
+	step("fig7", func() error {
+		_, t, err := exp.FeedbackVersusOPT(getSSB(), *optQueries)
+		if err != nil {
+			return err
+		}
+		t.Print(out)
+		return nil
+	})
+	step("fig9", func() error {
+		_, t, err := exp.APBComparison(getAPB())
+		if err != nil {
+			return err
+		}
+		t.Print(out)
+		return nil
+	})
+	step("fig10", func() error {
+		_, t := exp.CostModelError(getSSB())
+		t.Print(out)
+		return nil
+	})
+	step("fig11", func() error {
+		_, t, err := exp.SSBComparison(getSSBAug())
+		if err != nil {
+			return err
+		}
+		t.Print(out)
+		return nil
+	})
+	step("fig13", func() error {
+		_, t := exp.AccessPatternGap(getSSB())
+		t.Print(out)
+		return nil
+	})
+	step("fig14", func() error {
+		_, t := exp.MaintenanceCost(exp.DefaultMaintenanceConfig())
+		t.Print(out)
+		return nil
+	})
+	step("a3", func() error {
+		_, t := exp.UpdateCostCMvsBTree(exp.DefaultUpdateCostConfig())
+		t.Print(out)
+		return nil
+	})
+	step("relax", func() error {
+		_, t := exp.RelaxationError(getSSB(), 40)
+		t.Print(out)
+		return nil
+	})
+	step("merge", func() error {
+		_, t := exp.MergeAblation(getSSB())
+		t.Print(out)
+		return nil
+	})
+}

@@ -1,0 +1,318 @@
+// Package coradd is the public API of the CORADD reproduction — the
+// correlation-aware database designer for materialized views and indexes
+// of Kimura, Huo, Rasin, Madden and Zdonik (PVLDB 3(1), 2010).
+//
+// The package re-exports the library's primary types from the internal
+// implementation packages via aliases, so downstream users need only this
+// import:
+//
+//	rel := coradd.GenerateSSB(coradd.SSBConfig{Rows: 200_000, Seed: 1})
+//	w := coradd.SSBQueries()
+//	sys, _ := coradd.NewSystem(rel, w, coradd.SystemConfig{PKCols: []string{"orderkey"}})
+//	design, _ := sys.Design(4 * rel.HeapBytes()) // 4x-heap space budget
+//	result, _ := sys.Measure(design)             // simulated runtimes
+//
+// The pipeline underneath is the paper's: statistics collection with
+// selectivity propagation (§4.1), MV candidate generation by query
+// grouping and interleaved clustered-key merging (§4.2), fact-table
+// re-clustering (§4.3), exact ILP selection (§5), ILP feedback (§6), and
+// correlation-map secondary indexes (Appendix A-1). See DESIGN.md for the
+// full inventory and EXPERIMENTS.md for the reproduced evaluation.
+package coradd
+
+import (
+	"fmt"
+
+	"coradd/internal/apb"
+	"coradd/internal/candgen"
+	"coradd/internal/cm"
+	"coradd/internal/costmodel"
+	"coradd/internal/designer"
+	"coradd/internal/exec"
+	"coradd/internal/feedback"
+	"coradd/internal/query"
+	"coradd/internal/schema"
+	"coradd/internal/ssb"
+	"coradd/internal/stats"
+	"coradd/internal/storage"
+	"coradd/internal/value"
+)
+
+// Core data types.
+type (
+	// Relation is a clustered heap file (a table or a materialized view).
+	Relation = storage.Relation
+	// Schema describes a relation's columns.
+	Schema = schema.Schema
+	// Column is one attribute with its logical byte width.
+	Column = schema.Column
+	// Query is one workload query (predicates, targets, aggregate).
+	Query = query.Query
+	// Predicate restricts one attribute (equality, range or IN).
+	Predicate = query.Predicate
+	// Workload is an ordered set of queries.
+	Workload = query.Workload
+	// Stats holds the collected statistics a designer runs on.
+	Stats = stats.Stats
+	// Design is a completed physical design.
+	Design = designer.Design
+	// Designer produces designs for varying budgets (CORADD, Commercial,
+	// Naive all implement it).
+	Designer = designer.Designer
+	// MVDesign is one recommended object (MV or fact re-clustering).
+	MVDesign = costmodel.MVDesign
+	// DiskParams converts simulated I/O into seconds.
+	DiskParams = storage.DiskParams
+	// RunResult is a measured design (per-query simulated seconds).
+	RunResult = designer.RunResult
+	// CM is a correlation map, the paper's compressed secondary index.
+	CM = cm.CM
+	// Object is a materialized design object with its indexes and CMs.
+	Object = exec.Object
+)
+
+// Value types: all attribute values are int64-coded (string attributes are
+// dictionary-coded per column; see internal/value).
+type (
+	// V is one attribute value.
+	V = value.V
+	// Row is one tuple.
+	Row = value.Row
+	// PlanSpec names one access path on an object.
+	PlanSpec = exec.PlanSpec
+	// ExecResult is the outcome of executing a query on an object.
+	ExecResult = exec.Result
+	// GroupedResult is a per-group aggregate execution result.
+	GroupedResult = exec.GroupedResult
+	// GroupCell is one group of a grouped aggregate.
+	GroupCell = exec.GroupCell
+	// MultiFact bundles one fact table's inputs for multi-fact design.
+	MultiFact = designer.Fact
+	// MultiDesign is a combined design over several fact tables.
+	MultiDesign = designer.MultiDesign
+	// Correlation is one discovered soft functional dependency.
+	Correlation = stats.Correlation
+)
+
+// Predicate constructors.
+var (
+	// Eq builds col = v.
+	Eq = query.NewEq
+	// Range builds lo ≤ col ≤ hi.
+	Range = query.NewRange
+	// In builds col ∈ {vs...}.
+	In = query.NewIn
+)
+
+// NewSchema builds a schema from columns (names must be unique).
+func NewSchema(cols ...Column) *Schema { return schema.New(cols...) }
+
+// NewRelation builds a clustered heap file, sorting rows on clusterKey
+// (column positions). It takes ownership of rows.
+func NewRelation(name string, s *Schema, clusterKey []int, rows []Row) *Relation {
+	return storage.NewRelation(name, s, clusterKey, rows)
+}
+
+// NewObject wraps a relation as a materialized design object ready for
+// secondary indexes, correlation maps and query execution.
+func NewObject(rel *Relation) *Object { return exec.NewObject(rel) }
+
+// BuildCM builds a correlation map over rel keyed on the named columns
+// with the given bucket widths (width 1 = exact values). pagesPerBucket ≤ 0
+// selects the default clustered bucketing (20 pages).
+func BuildCM(rel *Relation, cols []string, widths []V, pagesPerBucket int) *CM {
+	return cm.Build(rel, rel.Schema.ColSet(cols...), widths, pagesPerBucket)
+}
+
+// DesignCM runs the CM Designer (paper A-1.2) for one query on rel,
+// returning the fastest correlation map within the default 1 MB limit, or
+// nil when none helps.
+func DesignCM(rel *Relation, q *Query) *CM {
+	return cm.Design(rel, q, cm.DefaultDesignerConfig())
+}
+
+// ExecuteBest runs q on o through the cheapest feasible plan and returns
+// the result with its simulated I/O.
+func ExecuteBest(o *Object, q *Query, disk DiskParams) (ExecResult, error) {
+	return exec.Best(o, q, disk)
+}
+
+// Execute runs q on o with an explicit plan.
+func Execute(o *Object, q *Query, spec PlanSpec) (ExecResult, error) {
+	return exec.Execute(o, q, spec)
+}
+
+// DefaultDisk returns the disk model used throughout the paper's
+// reproduction (5.5 ms seeks, ~80 MB/s sequential reads).
+func DefaultDisk() DiskParams { return storage.DefaultDiskParams() }
+
+// NewStats scans rel once and returns the designer statistics (exact
+// single-column cardinalities, histograms, a random synopsis).
+func NewStats(rel *Relation, sampleSize int, seed int64) *Stats {
+	return stats.New(rel, sampleSize, seed)
+}
+
+// ExecuteGrouped runs q on o with the chosen plan, aggregating per
+// distinct combination of the groupBy columns (the paper's GROUP BY
+// queries). I/O accounting matches Execute.
+func ExecuteGrouped(o *Object, q *Query, spec PlanSpec, groupBy []string) (*GroupedResult, error) {
+	return exec.ExecuteGrouped(o, q, spec, groupBy)
+}
+
+// NewMultiSystem builds per-fact CORADD designers over a workload spanning
+// several fact tables, splitting budgets in proportion to heap sizes
+// (§7.1). Use designer.SplitQuery to break two-fact queries into per-fact
+// parts first.
+func NewMultiSystem(facts map[string]MultiFact, w Workload, cfg SystemConfig) (*designer.Multi, error) {
+	if cfg.Disk == (DiskParams{}) {
+		cfg.Disk = storage.DefaultDiskParams()
+	}
+	if cfg.Candidates.T == 0 {
+		cfg.Candidates = candgen.DefaultConfig()
+	}
+	fb := feedback.Config{MaxIters: cfg.FeedbackIters}
+	if cfg.FeedbackIters == 0 {
+		fb.MaxIters = 2
+	}
+	return designer.NewMulti(facts, w, cfg.Disk, cfg.Candidates, fb)
+}
+
+// Plan-kind constants for Execute.
+const (
+	SeqScan       = exec.SeqScan
+	ClusteredScan = exec.ClusteredScan
+	SecondaryScan = exec.SecondaryScan
+	CMScan        = exec.CMScan
+)
+
+// Benchmark generators.
+type (
+	// SSBConfig sizes the Star Schema Benchmark generator.
+	SSBConfig = ssb.Config
+	// APBConfig sizes the APB-1 generator.
+	APBConfig = apb.Config
+)
+
+// GenerateSSB builds the denormalized SSB lineorder relation.
+func GenerateSSB(cfg SSBConfig) *Relation { return ssb.Generate(cfg) }
+
+// SSBQueries returns the 13 standard SSB queries.
+func SSBQueries() Workload { return ssb.Queries() }
+
+// SSBAugmentedQueries returns the paper's 52-query augmented workload.
+func SSBAugmentedQueries() Workload { return ssb.AugmentedQueries() }
+
+// GenerateAPB builds the denormalized APB-1 sales relation.
+func GenerateAPB(cfg APBConfig) *Relation { return apb.Generate(cfg) }
+
+// APBQueries returns the 31 APB-1 template queries.
+func APBQueries() Workload { return apb.Queries() }
+
+// SystemConfig tunes a System.
+type SystemConfig struct {
+	// PKCols are the fact table's primary-key column names (used for the
+	// extra index a re-clustered fact must carry). Defaults to the
+	// relation's current clustered key.
+	PKCols []string
+	// SampleSize is the statistics synopsis size (default 4096).
+	SampleSize int
+	// Seed drives sampling and grouping determinism (default 1).
+	Seed int64
+	// FeedbackIters is the number of ILP-feedback iterations (default 2;
+	// -1 disables feedback).
+	FeedbackIters int
+	// Candidates overrides candidate-generation tuning; zero value means
+	// the paper defaults.
+	Candidates candgen.Config
+	// Disk overrides the disk model; zero value means the defaults
+	// (5.5 ms seek, ~80 MB/s sequential).
+	Disk DiskParams
+}
+
+// System is the ready-to-use designer over one fact table and workload.
+type System struct {
+	Fact *Relation
+	W    Workload
+	St   *Stats
+	Disk DiskParams
+
+	coradd    *designer.CORADD
+	evaluator *designer.Evaluator
+}
+
+// NewSystem collects statistics over rel and prepares the CORADD designer
+// for the workload.
+func NewSystem(rel *Relation, w Workload, cfg SystemConfig) (*System, error) {
+	if rel == nil || len(w) == 0 {
+		return nil, fmt.Errorf("coradd: relation and workload are required")
+	}
+	if cfg.SampleSize <= 0 {
+		cfg.SampleSize = stats.DefaultSampleSize
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Disk == (DiskParams{}) {
+		cfg.Disk = storage.DefaultDiskParams()
+	}
+	if cfg.Candidates.T == 0 {
+		cfg.Candidates = candgen.DefaultConfig()
+	}
+	if cfg.FeedbackIters == 0 {
+		cfg.FeedbackIters = 2
+	}
+	pk := rel.ClusterKey
+	if len(cfg.PKCols) > 0 {
+		pk = rel.Schema.ColSet(cfg.PKCols...)
+	}
+	st := stats.New(rel, cfg.SampleSize, cfg.Seed)
+	common := designer.Common{
+		St: st, W: w, Disk: cfg.Disk, PKCols: pk, BaseKey: rel.ClusterKey,
+	}
+	s := &System{Fact: rel, W: w, St: st, Disk: cfg.Disk}
+	s.coradd = designer.NewCORADD(common, cfg.Candidates, feedback.Config{MaxIters: cfg.FeedbackIters})
+	s.evaluator = designer.NewEvaluator(rel, w, cfg.Disk)
+	return s, nil
+}
+
+// Design produces the CORADD design for the given space budget in bytes.
+func (s *System) Design(budget int64) (*Design, error) {
+	return s.coradd.Design(budget)
+}
+
+// Measure materializes a design on the simulated substrate and executes
+// every workload query, returning per-query and total simulated runtimes.
+func (s *System) Measure(d *Design) (*RunResult, error) {
+	return s.evaluator.Measure(d)
+}
+
+// Baselines returns ready-made Commercial and Naive designers over the
+// same inputs, for comparisons like the paper's Figures 9 and 11.
+func (s *System) Baselines(cfg SystemConfig) (commercial, naive designer.Designer) {
+	if cfg.Candidates.T == 0 {
+		cfg.Candidates = candgen.DefaultConfig()
+	}
+	common := designer.Common{
+		St: s.St, W: s.W, Disk: s.Disk,
+		PKCols: s.coradd.PKCols, BaseKey: s.coradd.BaseKey,
+	}
+	com := designer.NewCommercial(common, cfg.Candidates)
+	s.evaluator.Commercial = com
+	return com, designer.NewNaive(common, cfg.Candidates)
+}
+
+// DiscoverCorrelations runs the CORDS-style discovery pass over the fact
+// table, returning soft functional dependencies of at least minStrength
+// (0 selects the default threshold), strongest first.
+func (s *System) DiscoverCorrelations(minStrength float64) []Correlation {
+	return s.St.DiscoverCorrelations(stats.DiscoverOptions{MinStrength: minStrength})
+}
+
+// Strength exposes the CORDS correlation strength statistic
+// strength(from → to) = |from| / |from,to| over column names.
+func (s *System) Strength(from, to string) float64 {
+	return s.St.Strength(
+		[]int{s.Fact.Schema.MustCol(from)},
+		[]int{s.Fact.Schema.MustCol(to)},
+	)
+}

@@ -1,0 +1,117 @@
+package coradd
+
+import (
+	"testing"
+)
+
+func quickSystem(t testing.TB) (*Relation, *System) {
+	t.Helper()
+	rel := GenerateSSB(SSBConfig{Rows: 30000, Customers: 900, Suppliers: 150, Parts: 700, Seed: 5})
+	sys, err := NewSystem(rel, SSBQueries(), SystemConfig{
+		SampleSize: 1024, Seed: 2, FeedbackIters: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel, sys
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	rel, sys := quickSystem(t)
+	budget := 3 * rel.HeapBytes()
+	design, err := sys.Design(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if design.Size > budget {
+		t.Errorf("design size %d over budget %d", design.Size, budget)
+	}
+	res, err := sys.Measure(design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerQuery) != len(sys.W) {
+		t.Fatalf("per-query results = %d", len(res.PerQuery))
+	}
+	for qi, sec := range res.PerQuery {
+		if sec <= 0 {
+			t.Errorf("query %d measured %vs", qi, sec)
+		}
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	if _, err := NewSystem(nil, SSBQueries(), SystemConfig{}); err == nil {
+		t.Error("nil relation accepted")
+	}
+	rel := GenerateSSB(SSBConfig{Rows: 100, Customers: 10, Suppliers: 5, Parts: 10, Seed: 1})
+	if _, err := NewSystem(rel, nil, SystemConfig{}); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestStrengthFacade(t *testing.T) {
+	_, sys := quickSystem(t)
+	if s := sys.Strength("yearmonth", "year"); s < 0.95 {
+		t.Errorf("strength(yearmonth→year) = %v", s)
+	}
+	if s := sys.Strength("year", "yearmonth"); s > 0.3 {
+		t.Errorf("strength(year→yearmonth) = %v, want weak", s)
+	}
+}
+
+func TestFacadeExecutionHelpers(t *testing.T) {
+	s := NewSchema(
+		Column{Name: "a", ByteSize: 4},
+		Column{Name: "b", ByteSize: 4},
+		Column{Name: "v", ByteSize: 8},
+	)
+	rows := make([]Row, 10000)
+	for i := range rows {
+		a := V(i % 50)
+		rows[i] = Row{a, a / 5, V(i)}
+	}
+	rel := NewRelation("t", s, s.ColSet("a"), rows)
+	obj := NewObject(rel)
+	q := &Query{Name: "q", Fact: "t", Predicates: []Predicate{Eq("b", 3)}, AggCol: "v"}
+
+	m := BuildCM(rel, []string{"b"}, []V{1}, 0)
+	obj.AddCM(m)
+
+	seq, err := Execute(obj, q, PlanSpec{Kind: SeqScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmRes, err := Execute(obj, q, PlanSpec{Kind: CMScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Sum != cmRes.Sum {
+		t.Errorf("CM answer %d != seqscan %d", cmRes.Sum, seq.Sum)
+	}
+	best, err := ExecuteBest(obj, q, DefaultDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Seconds(DefaultDisk()) > seq.Seconds(DefaultDisk()) {
+		t.Error("ExecuteBest worse than seqscan")
+	}
+}
+
+func TestBaselinesFacade(t *testing.T) {
+	rel, sys := quickSystem(t)
+	commercial, naive := sys.Baselines(SystemConfig{})
+	budget := 2 * rel.HeapBytes()
+	for _, d := range []Designer{commercial, naive} {
+		design, err := d.Design(budget)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		if design.Size > budget {
+			t.Errorf("%s design over budget", d.Name())
+		}
+		if _, err := sys.Measure(design); err != nil {
+			t.Fatalf("%s: measure: %v", d.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// ssb_design runs the full CORADD pipeline on the Star Schema Benchmark
+// and sweeps the space budget, showing how the design evolves the way the
+// paper's Figure 9 narrates: first a fact-table re-clustering, then shared
+// MVs covering query groups, then many small MVs with better-correlated
+// clustered keys.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"coradd"
+)
+
+func main() {
+	rows := flag.Int("rows", 80_000, "lineorder rows")
+	flag.Parse()
+
+	rel := coradd.GenerateSSB(coradd.SSBConfig{
+		Rows: *rows, Customers: *rows / 30, Suppliers: *rows / 400, Parts: *rows / 40, Seed: 42,
+	})
+	w := coradd.SSBQueries()
+	sys, err := coradd.NewSystem(rel, w, coradd.SystemConfig{FeedbackIters: 1})
+	must(err)
+
+	fmt.Printf("SSB lineorder: %d rows, %.1f MB heap, %d queries\n\n",
+		rel.NumRows(), float64(rel.HeapBytes())/(1<<20), len(w))
+
+	for _, mult := range []float64{0.5, 1, 2, 4, 8} {
+		budget := int64(mult * float64(rel.HeapBytes()))
+		design, err := sys.Design(budget)
+		must(err)
+		res, err := sys.Measure(design)
+		must(err)
+
+		mvs, facts := 0, 0
+		for _, md := range design.Chosen {
+			if md.FactRecluster {
+				facts++
+			} else {
+				mvs++
+			}
+		}
+		fmt.Printf("budget %4.1fx heap (%6.1f MB): %2d MVs, %d fact re-clustering, used %6.1f MB — expected %.3fs, measured %.3fs\n",
+			mult, float64(budget)/(1<<20), mvs, facts,
+			float64(design.Size)/(1<<20), design.TotalExpected(w), res.Total)
+		if mult == 4 {
+			fmt.Println("\n  design at 4x heap:")
+			for _, md := range design.Chosen {
+				kind := "mv"
+				if md.FactRecluster {
+					kind = "fact"
+				}
+				fmt.Printf("    %-28s %-5s key=(%s)\n", md.Name, kind, rel.Schema.ColNames(md.ClusterKey))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package apb generates an APB-1 Release II style OLAP dataset (OLAP
+// Council, 1998) in the denormalized form CORADD designs over, plus the 31
+// template queries the paper feeds the designers (§7.1).
+//
+// APB-1's value to the paper is its deeply hierarchical dimensions, which
+// are perfectly correlated attribute chains:
+//
+//	product: code → class → group → family → line → division
+//	customer: store → retailer
+//	time:    month → quarter → year
+//	channel: flat
+//
+// The paper's workload accesses two fact tables (sales and budget); it
+// splits such queries into independent per-fact queries, and CORADD designs
+// per fact table. We generate the dominant sales fact and express all 31
+// templates against it (see DESIGN.md, substitutions).
+package apb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"coradd/internal/query"
+	"coradd/internal/schema"
+	"coradd/internal/storage"
+	"coradd/internal/value"
+)
+
+// Column names of the denormalized sales fact.
+const (
+	ColTxn       = "txnid"
+	ColProduct   = "product"
+	ColClass     = "class"
+	ColGroup     = "pgroup"
+	ColFamily    = "family"
+	ColLine      = "line"
+	ColDivision  = "division"
+	ColStore     = "store"
+	ColRetailer  = "retailer"
+	ColChannel   = "channel"
+	ColMonth     = "month" // yyyymm over two years
+	ColQuarter   = "quarter"
+	ColYear      = "year"
+	ColUnits     = "unitssold"
+	ColDollars   = "dollarsales"
+	ColBudgetRef = "budget"
+)
+
+// Dimension cardinalities, scaled down from APB-1's 10-channel 2%-density
+// configuration while preserving the hierarchy fan-outs.
+const (
+	NumProducts  = 9000
+	NumClasses   = 900 // 10 products per class
+	NumGroups    = 100
+	NumFamilies  = 20
+	NumLines     = 7
+	NumDivisions = 3
+	NumStores    = 900
+	NumRetailers = 90 // 10 stores per retailer
+	NumChannels  = 10
+	FirstYear    = 1995
+	NumMonths    = 24
+)
+
+// Schema returns the denormalized sales schema.
+func Schema() *schema.Schema {
+	return schema.New(
+		schema.Column{Name: ColTxn, ByteSize: 4},
+		schema.Column{Name: ColProduct, ByteSize: 4},
+		schema.Column{Name: ColClass, ByteSize: 2},
+		schema.Column{Name: ColGroup, ByteSize: 1},
+		schema.Column{Name: ColFamily, ByteSize: 1},
+		schema.Column{Name: ColLine, ByteSize: 1},
+		schema.Column{Name: ColDivision, ByteSize: 1},
+		schema.Column{Name: ColStore, ByteSize: 2},
+		schema.Column{Name: ColRetailer, ByteSize: 1},
+		schema.Column{Name: ColChannel, ByteSize: 1},
+		schema.Column{Name: ColMonth, ByteSize: 4},
+		schema.Column{Name: ColQuarter, ByteSize: 2},
+		schema.Column{Name: ColYear, ByteSize: 2},
+		schema.Column{Name: ColUnits, ByteSize: 4},
+		schema.Column{Name: ColDollars, ByteSize: 4},
+		schema.Column{Name: ColBudgetRef, ByteSize: 4},
+	)
+}
+
+// Config controls generation.
+type Config struct {
+	Rows int
+	Seed int64
+}
+
+// DefaultConfig is the laptop-scale instance.
+func DefaultConfig() Config { return Config{Rows: 120_000, Seed: 7} }
+
+// Generate builds the sales fact, clustered on its transaction id (the
+// default, uncorrelated design).
+func Generate(cfg Config) *storage.Relation {
+	if cfg.Rows <= 0 {
+		cfg = DefaultConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := Schema()
+	rows := make([]value.Row, cfg.Rows)
+	for i := 0; i < cfg.Rows; i++ {
+		row := make(value.Row, len(s.Columns))
+		prod := value.V(rng.Intn(NumProducts))
+		class := prod / (NumProducts / NumClasses)
+		group := class / (NumClasses / NumGroups)
+		family := group / (NumGroups / NumFamilies)
+		line := family % NumLines
+		division := line % NumDivisions
+		store := value.V(rng.Intn(NumStores))
+		mi := rng.Intn(NumMonths)
+		year := FirstYear + mi/12
+		month := value.V(year*100 + mi%12 + 1)
+		quarter := value.V(year*10 + mi%12/3 + 1)
+
+		units := value.V(1 + rng.Intn(100))
+		row[s.MustCol(ColTxn)] = value.V(i)
+		row[s.MustCol(ColProduct)] = prod
+		row[s.MustCol(ColClass)] = class
+		row[s.MustCol(ColGroup)] = group
+		row[s.MustCol(ColFamily)] = family
+		row[s.MustCol(ColLine)] = line
+		row[s.MustCol(ColDivision)] = division
+		row[s.MustCol(ColStore)] = store
+		row[s.MustCol(ColRetailer)] = store / (NumStores / NumRetailers)
+		row[s.MustCol(ColChannel)] = value.V(rng.Intn(NumChannels))
+		row[s.MustCol(ColMonth)] = month
+		row[s.MustCol(ColQuarter)] = quarter
+		row[s.MustCol(ColYear)] = value.V(year)
+		row[s.MustCol(ColUnits)] = units
+		row[s.MustCol(ColDollars)] = units * value.V(50+rng.Intn(450))
+		row[s.MustCol(ColBudgetRef)] = units * 45
+		rows[i] = row
+	}
+	return storage.NewRelation("sales", s, []int{s.MustCol(ColTxn)}, rows)
+}
+
+// PKCols returns the fact's primary-key positions.
+func PKCols(s *schema.Schema) []int { return []int{s.MustCol(ColTxn)} }
+
+// Queries returns the 31 template queries: APB-1's ten logical operations
+// (sales by hierarchy level × time grain × customer/channel slice)
+// instantiated at the hierarchy levels the benchmark's query distribution
+// exercises.
+func Queries() query.Workload {
+	mk := func(i int, preds []query.Predicate, targets ...string) *query.Query {
+		return &query.Query{
+			Name:       fmt.Sprintf("A%02d", i),
+			Fact:       "sales",
+			Predicates: preds,
+			Targets:    targets,
+			AggCol:     ColDollars,
+		}
+	}
+	m := func(y, mo int) value.V { return value.V(y*100 + mo) }
+	qt := func(y, q int) value.V { return value.V(y*10 + q) }
+	var w query.Workload
+	i := 1
+	add := func(preds []query.Predicate, targets ...string) {
+		w = append(w, mk(i, preds, targets...))
+		i++
+	}
+
+	// 1–6: product hierarchy slices at month grain.
+	add([]query.Predicate{query.NewEq(ColDivision, 1), query.NewEq(ColMonth, m(1995, 3))}, ColUnits)
+	add([]query.Predicate{query.NewEq(ColLine, 4), query.NewEq(ColMonth, m(1995, 6))}, ColUnits)
+	add([]query.Predicate{query.NewEq(ColFamily, 11), query.NewEq(ColMonth, m(1996, 1))}, ColUnits)
+	add([]query.Predicate{query.NewEq(ColGroup, 55), query.NewEq(ColMonth, m(1996, 4))}, ColUnits)
+	add([]query.Predicate{query.NewEq(ColClass, 500), query.NewEq(ColMonth, m(1996, 7))}, ColUnits)
+	add([]query.Predicate{query.NewEq(ColProduct, 4321), query.NewEq(ColMonth, m(1996, 10))}, ColUnits)
+
+	// 7–12: product hierarchy at quarter grain with channel slices.
+	add([]query.Predicate{query.NewEq(ColDivision, 0), query.NewEq(ColQuarter, qt(1995, 2))}, ColChannel, ColUnits)
+	add([]query.Predicate{query.NewEq(ColLine, 2), query.NewEq(ColQuarter, qt(1995, 4)), query.NewEq(ColChannel, 3)}, ColUnits)
+	add([]query.Predicate{query.NewEq(ColFamily, 7), query.NewEq(ColQuarter, qt(1996, 1)), query.NewEq(ColChannel, 5)}, ColUnits)
+	add([]query.Predicate{query.NewEq(ColGroup, 23), query.NewEq(ColQuarter, qt(1996, 3))}, ColChannel, ColUnits)
+	add([]query.Predicate{query.NewEq(ColClass, 117), query.NewEq(ColQuarter, qt(1996, 2))}, ColUnits)
+	add([]query.Predicate{query.NewRange(ColProduct, 1000, 1099), query.NewEq(ColQuarter, qt(1995, 3))}, ColUnits)
+
+	// 13–18: customer hierarchy × time.
+	add([]query.Predicate{query.NewEq(ColRetailer, 17), query.NewEq(ColYear, 1995)}, ColUnits)
+	add([]query.Predicate{query.NewEq(ColRetailer, 42), query.NewEq(ColQuarter, qt(1996, 2))}, ColUnits)
+	add([]query.Predicate{query.NewEq(ColStore, 421), query.NewEq(ColMonth, m(1996, 5))}, ColUnits)
+	add([]query.Predicate{query.NewEq(ColStore, 128), query.NewEq(ColYear, 1996)}, ColUnits)
+	add([]query.Predicate{query.NewEq(ColRetailer, 63), query.NewEq(ColMonth, m(1995, 9)), query.NewEq(ColChannel, 2)}, ColUnits)
+	add([]query.Predicate{query.NewIn(ColRetailer, 10, 20, 30), query.NewEq(ColQuarter, qt(1995, 1))}, ColUnits)
+
+	// 19–24: product × customer crossings.
+	add([]query.Predicate{query.NewEq(ColDivision, 2), query.NewEq(ColRetailer, 5), query.NewEq(ColYear, 1995)}, ColUnits)
+	add([]query.Predicate{query.NewEq(ColLine, 1), query.NewEq(ColRetailer, 33), query.NewEq(ColQuarter, qt(1996, 4))}, ColUnits)
+	add([]query.Predicate{query.NewEq(ColFamily, 3), query.NewEq(ColStore, 700), query.NewEq(ColMonth, m(1996, 2))}, ColUnits)
+	add([]query.Predicate{query.NewEq(ColGroup, 88), query.NewEq(ColRetailer, 71)}, ColYear, ColUnits)
+	add([]query.Predicate{query.NewEq(ColClass, 250), query.NewEq(ColStore, 99), query.NewEq(ColYear, 1996)}, ColUnits)
+	add([]query.Predicate{query.NewEq(ColFamily, 15), query.NewIn(ColStore, 100, 200, 300), query.NewEq(ColQuarter, qt(1995, 2))}, ColUnits)
+
+	// 25–28: time-range rollups.
+	add([]query.Predicate{query.NewEq(ColDivision, 1), query.NewRange(ColMonth, m(1995, 1), m(1995, 6))}, ColUnits)
+	add([]query.Predicate{query.NewEq(ColLine, 5), query.NewRange(ColQuarter, qt(1995, 1), qt(1996, 2))}, ColUnits)
+	add([]query.Predicate{query.NewEq(ColGroup, 44), query.NewRange(ColMonth, m(1996, 3), m(1996, 9))}, ColUnits)
+	add([]query.Predicate{query.NewEq(ColRetailer, 8), query.NewRange(ColMonth, m(1995, 7), m(1996, 6))}, ColUnits)
+
+	// 29–31: channel-led and budget-flavoured templates (the budget fact's
+	// queries, split onto the sales fact per §7.1).
+	add([]query.Predicate{query.NewEq(ColChannel, 7), query.NewEq(ColQuarter, qt(1996, 1))}, ColDivision, ColUnits)
+	add([]query.Predicate{query.NewEq(ColChannel, 4), query.NewEq(ColFamily, 9), query.NewEq(ColYear, 1996)}, ColBudgetRef, ColUnits)
+	add([]query.Predicate{query.NewEq(ColDivision, 0), query.NewEq(ColChannel, 1), query.NewRange(ColMonth, m(1996, 1), m(1996, 12))}, ColBudgetRef, ColUnits)
+
+	return w
+}

@@ -1,0 +1,107 @@
+package apb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"coradd/internal/query"
+	"coradd/internal/schema"
+	"coradd/internal/storage"
+	"coradd/internal/value"
+)
+
+// Columns of the planvars (budget) fact table. It shares the dimension
+// attributes with sales but is planned at retailer rather than store
+// granularity, as in APB-1.
+const (
+	ColPlanID      = "planid"
+	ColPlanUnits   = "planunits"
+	ColPlanDollars = "plandollars"
+)
+
+// BudgetSchema returns the denormalized planvars schema.
+func BudgetSchema() *schema.Schema {
+	return schema.New(
+		schema.Column{Name: ColPlanID, ByteSize: 4},
+		schema.Column{Name: ColProduct, ByteSize: 4},
+		schema.Column{Name: ColClass, ByteSize: 2},
+		schema.Column{Name: ColGroup, ByteSize: 1},
+		schema.Column{Name: ColFamily, ByteSize: 1},
+		schema.Column{Name: ColLine, ByteSize: 1},
+		schema.Column{Name: ColDivision, ByteSize: 1},
+		schema.Column{Name: ColRetailer, ByteSize: 1},
+		schema.Column{Name: ColChannel, ByteSize: 1},
+		schema.Column{Name: ColMonth, ByteSize: 4},
+		schema.Column{Name: ColQuarter, ByteSize: 2},
+		schema.Column{Name: ColYear, ByteSize: 2},
+		schema.Column{Name: ColPlanUnits, ByteSize: 4},
+		schema.Column{Name: ColPlanDollars, ByteSize: 4},
+	)
+}
+
+// GenerateBudget builds the planvars fact (typically ~1/3 the size of
+// sales), clustered on its plan id.
+func GenerateBudget(cfg Config) *storage.Relation {
+	if cfg.Rows <= 0 {
+		cfg = DefaultConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1000))
+	s := BudgetSchema()
+	rows := make([]value.Row, cfg.Rows)
+	for i := 0; i < cfg.Rows; i++ {
+		row := make(value.Row, len(s.Columns))
+		prod := value.V(rng.Intn(NumProducts))
+		class := prod / (NumProducts / NumClasses)
+		group := class / (NumClasses / NumGroups)
+		family := group / (NumGroups / NumFamilies)
+		mi := rng.Intn(NumMonths)
+		year := FirstYear + mi/12
+		units := value.V(10 + rng.Intn(200))
+		row[s.MustCol(ColPlanID)] = value.V(i)
+		row[s.MustCol(ColProduct)] = prod
+		row[s.MustCol(ColClass)] = class
+		row[s.MustCol(ColGroup)] = group
+		row[s.MustCol(ColFamily)] = family
+		row[s.MustCol(ColLine)] = family % NumLines
+		row[s.MustCol(ColDivision)] = (family % NumLines) % NumDivisions
+		row[s.MustCol(ColRetailer)] = value.V(rng.Intn(NumRetailers))
+		row[s.MustCol(ColChannel)] = value.V(rng.Intn(NumChannels))
+		row[s.MustCol(ColMonth)] = value.V(year*100 + mi%12 + 1)
+		row[s.MustCol(ColQuarter)] = value.V(year*10 + mi%12/3 + 1)
+		row[s.MustCol(ColYear)] = value.V(year)
+		row[s.MustCol(ColPlanUnits)] = units
+		row[s.MustCol(ColPlanDollars)] = units * value.V(40+rng.Intn(400))
+		rows[i] = row
+	}
+	return storage.NewRelation("planvars", s, []int{s.MustCol(ColPlanID)}, rows)
+}
+
+// BudgetPKCols returns planvars' primary-key positions.
+func BudgetPKCols(s *schema.Schema) []int { return []int{s.MustCol(ColPlanID)} }
+
+// BudgetQueries returns the budget-side templates: actual-versus-plan
+// comparisons at several hierarchy levels. In APB-1 these access both
+// fact tables; the paper splits them into independent per-fact queries
+// (§7.1), and these are the planvars halves.
+func BudgetQueries() query.Workload {
+	var w query.Workload
+	i := 1
+	add := func(preds []query.Predicate, targets ...string) {
+		w = append(w, &query.Query{
+			Name:       fmt.Sprintf("B%02d", i),
+			Fact:       "planvars",
+			Predicates: preds,
+			Targets:    targets,
+			AggCol:     ColPlanDollars,
+		})
+		i++
+	}
+	m := func(y, mo int) value.V { return value.V(y*100 + mo) }
+	add([]query.Predicate{query.NewEq(ColDivision, 1), query.NewEq(ColYear, 1995)}, ColPlanUnits)
+	add([]query.Predicate{query.NewEq(ColLine, 3), query.NewEq(ColQuarter, value.V(1996*10+2))}, ColPlanUnits)
+	add([]query.Predicate{query.NewEq(ColFamily, 9), query.NewRange(ColMonth, m(1995, 1), m(1995, 6))}, ColPlanUnits)
+	add([]query.Predicate{query.NewEq(ColGroup, 40), query.NewEq(ColRetailer, 12)}, ColYear, ColPlanUnits)
+	add([]query.Predicate{query.NewEq(ColRetailer, 55), query.NewEq(ColYear, 1996)}, ColPlanUnits)
+	add([]query.Predicate{query.NewEq(ColChannel, 6), query.NewEq(ColMonth, m(1996, 3))}, ColDivision, ColPlanUnits)
+	return w
+}

@@ -1,0 +1,241 @@
+package candgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"coradd/internal/costmodel"
+	"coradd/internal/query"
+	"coradd/internal/schema"
+	"coradd/internal/stats"
+	"coradd/internal/storage"
+	"coradd/internal/value"
+)
+
+// genEnv builds t(a, b, c, d, pk) clustered on pk, with b = a/10 and the
+// rest independent, plus a small workload.
+func genEnv(t testing.TB, n int) (*Generator, *stats.Stats) {
+	t.Helper()
+	s := schema.New(
+		schema.Column{Name: "a", ByteSize: 4},
+		schema.Column{Name: "b", ByteSize: 4},
+		schema.Column{Name: "c", ByteSize: 4},
+		schema.Column{Name: "d", ByteSize: 8},
+		schema.Column{Name: "pk", ByteSize: 4},
+	)
+	rng := rand.New(rand.NewSource(5))
+	rows := make([]value.Row, n)
+	for i := range rows {
+		a := value.V(rng.Intn(100))
+		rows[i] = value.Row{a, a / 10, value.V(rng.Intn(60)), value.V(rng.Intn(1000)), value.V(i)}
+	}
+	rel := storage.NewRelation("t", s, s.ColSet("pk"), rows)
+	st := stats.New(rel, 1024, 6)
+	w := query.Workload{
+		{Name: "q1", Fact: "t", Predicates: []query.Predicate{query.NewEq("a", 5), query.NewRange("c", 0, 9)}, AggCol: "d"},
+		{Name: "q2", Fact: "t", Predicates: []query.Predicate{query.NewEq("b", 3), query.NewRange("c", 10, 19)}, AggCol: "d"},
+		{Name: "q3", Fact: "t", Predicates: []query.Predicate{query.NewIn("a", 1, 2, 3)}, Targets: []string{"c"}, AggCol: "d"},
+		{Name: "q4", Fact: "t", Predicates: []query.Predicate{query.NewEq("c", 30)}, AggCol: "d"},
+	}
+	model := costmodel.NewAware(st, storage.DefaultDiskParams())
+	cfg := DefaultConfig()
+	cfg.Alphas = []float64{0, 0.25}
+	cfg.Restarts = 2
+	g := New(st, model, w, cfg)
+	g.PKCols = s.ColSet("pk")
+	return g, st
+}
+
+func TestDedicatedKeyOrdering(t *testing.T) {
+	g, _ := genEnv(t, 20000)
+	// q1: Eq(a) before Range(c).
+	key := g.DedicatedKey(g.W[0])
+	if len(key) != 2 || key[0] != 0 || key[1] != 2 {
+		t.Errorf("dedicated key for q1 = %v, want [a c]", key)
+	}
+	// q3: IN predicate still usable, single attribute.
+	key = g.DedicatedKey(g.W[2])
+	if len(key) != 1 || key[0] != 0 {
+		t.Errorf("dedicated key for q3 = %v, want [a]", key)
+	}
+}
+
+func TestMergeKeysIncludesConcatAndInterleavings(t *testing.T) {
+	g, _ := genEnv(t, 5000)
+	merged := g.MergeKeys([]int{0, 2}, []int{1, 3})
+	hasConcatAB, hasInterleaved := false, false
+	for _, k := range merged {
+		if equalInts(k, []int{0, 2, 1, 3}) {
+			hasConcatAB = true
+		}
+		if equalInts(k, []int{0, 1, 2, 3}) || equalInts(k, []int{1, 0, 2, 3}) || equalInts(k, []int{0, 1, 3, 2}) {
+			hasInterleaved = true
+		}
+	}
+	if !hasConcatAB {
+		t.Errorf("concatenation missing from %v", merged)
+	}
+	if !hasInterleaved {
+		t.Errorf("no interleaving found in %v", merged)
+	}
+}
+
+func TestMergeKeysDropsSharedAttributes(t *testing.T) {
+	g, _ := genEnv(t, 5000)
+	for _, k := range g.MergeKeys([]int{0, 2}, []int{2, 3}) {
+		seen := map[int]bool{}
+		for _, c := range k {
+			if seen[c] {
+				t.Fatalf("duplicate attribute in merged key %v", k)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestConcatOnlyMode(t *testing.T) {
+	g, _ := genEnv(t, 5000)
+	g.Cfg.ConcatOnly = true
+	merged := g.MergeKeys([]int{0}, []int{2})
+	if len(merged) != 2 {
+		t.Errorf("concat-only produced %d keys, want 2", len(merged))
+	}
+}
+
+func TestInterleaveEnumerationCapped(t *testing.T) {
+	g, _ := genEnv(t, 5000)
+	g.Cfg.MaxInterleavings = 4
+	merged := g.MergeKeys([]int{0, 1}, []int{2, 3})
+	if len(merged) > 8 {
+		t.Errorf("cap ignored: %d merged keys", len(merged))
+	}
+}
+
+func TestGroupColsUnion(t *testing.T) {
+	g, _ := genEnv(t, 5000)
+	cols := g.GroupCols([]int{0, 1})
+	// q1 uses a,c,d; q2 uses b,c,d → union {a,b,c,d} = positions 0..3.
+	if !equalInts(cols, []int{0, 1, 2, 3}) {
+		t.Errorf("GroupCols = %v", cols)
+	}
+}
+
+func TestGroupDesignsRespectT(t *testing.T) {
+	g, _ := genEnv(t, 20000)
+	for _, tval := range []int{1, 2, 4} {
+		ds := g.GroupDesigns([]int{0, 1, 2}, tval)
+		if len(ds) > tval {
+			t.Errorf("t=%d produced %d designs", tval, len(ds))
+		}
+		for _, d := range ds {
+			if len(d.ClusterKey) == 0 {
+				t.Error("design with empty clustered key")
+			}
+			for _, c := range d.ClusterKey {
+				if !d.HasCol(c) {
+					t.Errorf("cluster key col %d outside MV cols %v", c, d.Cols)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeduplicatesAndCovers(t *testing.T) {
+	g, st := genEnv(t, 20000)
+	designs := g.Generate()
+	if len(designs) == 0 {
+		t.Fatal("no candidates generated")
+	}
+	seen := map[string]bool{}
+	for _, d := range designs {
+		if seen[d.Key()] {
+			t.Fatalf("duplicate candidate %s", d.Name)
+		}
+		seen[d.Key()] = true
+	}
+	// Every query must be coverable by at least one candidate.
+	for qi, q := range g.W {
+		covered := false
+		for _, d := range designs {
+			if d.Covers(st, q) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("query %d (%s) covered by no candidate", qi, q.Name)
+		}
+	}
+}
+
+func TestFactReclusteringsShape(t *testing.T) {
+	g, _ := genEnv(t, 20000)
+	facts := g.FactReclusterings()
+	if len(facts) == 0 {
+		t.Fatal("no fact re-clusterings")
+	}
+	for _, d := range facts {
+		if !d.FactRecluster {
+			t.Error("non-fact design returned")
+		}
+		if len(d.Cols) != 5 {
+			t.Errorf("fact design must carry all columns, got %d", len(d.Cols))
+		}
+		if len(d.PKCols) != 1 {
+			t.Errorf("fact design missing PK cols")
+		}
+	}
+}
+
+func TestFactReclusterChargesPKIndex(t *testing.T) {
+	g, st := genEnv(t, 20000)
+	facts := g.FactReclusterings()
+	mv := &costmodel.MVDesign{Cols: facts[0].Cols, ClusterKey: facts[0].ClusterKey}
+	if facts[0].Bytes(st) <= mv.Bytes(st) {
+		t.Error("fact re-clustering not charged for the PK secondary index")
+	}
+}
+
+func TestTruncateKeyDropsHighCardinalityTail(t *testing.T) {
+	g, _ := genEnv(t, 20000)
+	// pk (unique) saturates the page limit instantly; nothing may follow.
+	key := g.truncateKey([]int{4, 0, 1}, []int{0, 1, 2, 3, 4})
+	if len(key) != 1 || key[0] != 4 {
+		t.Errorf("truncateKey = %v, want [pk] only", key)
+	}
+}
+
+func TestTruncateKeyEnforcesMaxLen(t *testing.T) {
+	g, _ := genEnv(t, 5000)
+	g.Cfg.MaxKeyLen = 2
+	key := g.truncateKey([]int{2, 0, 1, 3}, []int{0, 1, 2, 3})
+	if len(key) > 2 {
+		t.Errorf("key %v exceeds MaxKeyLen", key)
+	}
+}
+
+func TestQueryGroupsIncludeSingletonsAndAll(t *testing.T) {
+	g, _ := genEnv(t, 20000)
+	groups := g.QueryGroups()
+	foundAll := false
+	for _, grp := range groups {
+		if len(grp) == len(g.W) {
+			foundAll = true
+		}
+	}
+	if !foundAll {
+		t.Error("k=1 grouping (all queries together) missing")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,107 @@
+package candgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coradd/internal/costmodel"
+)
+
+// TestInterleavingsPreserveOrder: every merged key keeps the relative
+// order of each input key's attributes (order-preserving interleaving is
+// what bounds the search space to 2^|Attr|, §4.2).
+func TestInterleavingsPreserveOrder(t *testing.T) {
+	g, _ := genEnv(t, 2000)
+	prop := func(pick uint8) bool {
+		pairs := [][2][]int{
+			{{0, 2}, {1, 3}},
+			{{2, 0, 3}, {1}},
+			{{0}, {1, 2, 3}},
+			{{3, 1}, {0, 2}},
+		}
+		p := pairs[int(pick)%len(pairs)]
+		for _, k := range g.MergeKeys(p[0], p[1]) {
+			if !isSubsequenceOrder(k, p[0]) {
+				t.Logf("merged %v breaks order of %v", k, p[0])
+				return false
+			}
+			// Elements of b that survive dedup must keep b's order too.
+			bKept := removeAll(p[1], p[0])
+			if !isSubsequenceOrder(k, bKept) {
+				t.Logf("merged %v breaks order of %v", k, bKept)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// isSubsequenceOrder reports whether the elements of want appear in key in
+// the same relative order (each element of want must be present).
+func isSubsequenceOrder(key, want []int) bool {
+	pos := map[int]int{}
+	for i, c := range key {
+		pos[c] = i
+	}
+	prev := -1
+	for _, c := range want {
+		p, ok := pos[c]
+		if !ok || p < prev {
+			return false
+		}
+		prev = p
+	}
+	return true
+}
+
+// TestMergedKeysCoverBothInputs: a merged key contains every attribute of
+// both inputs (after dedup) so no predicate loses its place in the key.
+func TestMergedKeysCoverBothInputs(t *testing.T) {
+	g, _ := genEnv(t, 2000)
+	a, b := []int{0, 2}, []int{1, 2, 3}
+	union := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	for _, k := range g.MergeKeys(a, b) {
+		seen := map[int]bool{}
+		for _, c := range k {
+			seen[c] = true
+		}
+		for c := range union {
+			if !seen[c] {
+				t.Fatalf("merged key %v lost attribute %d", k, c)
+			}
+		}
+	}
+}
+
+// TestPruneKeysReturnsBestFirst: the retained clusterings are sorted by
+// expected group runtime, so feedback's t-growth explores strictly worse
+// alternatives.
+func TestPruneKeysReturnsBestFirst(t *testing.T) {
+	g, _ := genEnv(t, 20000)
+	group := []int{0, 1, 2}
+	cols := g.GroupCols(group)
+	keys := g.DesignClusterings(group, cols, 4)
+	if len(keys) < 2 {
+		t.Skip("not enough clusterings to compare")
+	}
+	score := func(key []int) float64 {
+		d := &costmodel.MVDesign{Cols: cols, ClusterKey: key}
+		total := 0.0
+		for _, qi := range group {
+			c, _ := g.Model.Estimate(d, g.W[qi])
+			total += g.W[qi].EffectiveWeight() * c
+		}
+		return total
+	}
+	prev := score(keys[0])
+	for _, k := range keys[1:] {
+		s := score(k)
+		if s < prev-1e-12 {
+			t.Errorf("clusterings not sorted by cost: %.6f after %.6f", s, prev)
+		}
+		prev = s
+	}
+}

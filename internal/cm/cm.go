@@ -1,0 +1,217 @@
+// Package cm implements Correlation Maps (Kimura et al., VLDB 2009; paper
+// Appendix A-1): compressed secondary indexes that map each distinct value
+// (or bucket) of an unclustered attribute to the set of clustered-key
+// buckets it co-occurs with. When the unclustered attribute is correlated
+// with the clustered key, the map is tiny and a lookup yields only a few
+// contiguous heap ranges.
+package cm
+
+import (
+	"sort"
+
+	"coradd/internal/query"
+	"coradd/internal/storage"
+	"coradd/internal/value"
+)
+
+// DefaultClusterPagesPerBucket is the fixed clustered-bucket width: all
+// heap pages in one bucket are scanned together. The paper's A-1.2 uses a
+// "reasonable fixed-width scheme (e.g., 20 pages per bucket ID)".
+const DefaultClusterPagesPerBucket = 20
+
+// entryOverhead models per-pair storage overhead in bytes (bucket id +
+// slot bookkeeping).
+const entryOverhead = 8
+
+// CM is a correlation map over one relation.
+type CM struct {
+	// KeyCols are the unclustered attribute positions forming the CM key.
+	KeyCols []int
+	// KeyWidths give the bucket width per key column; width 1 stores exact
+	// values, width w truncates values to floor(v/w) buckets (A-1.1).
+	KeyWidths []value.V
+	// ClusterPagesPerBucket is the clustered bucket width in heap pages.
+	ClusterPagesPerBucket int
+
+	keyBytes int
+	numPages int // heap pages of the indexed relation at build time
+	// pairs are the distinct (bucketed key, clustered bucket) co-occurrences
+	// sorted by key then bucket.
+	pairs []pair
+}
+
+type pair struct {
+	key    []value.V
+	bucket int32
+}
+
+// Build constructs the CM for rel over keyCols with the given bucket
+// widths (len(keyWidths) == len(keyCols); width ≥ 1).
+func Build(rel *storage.Relation, keyCols []int, keyWidths []value.V, clusterPagesPerBucket int) *CM {
+	if clusterPagesPerBucket < 1 {
+		clusterPagesPerBucket = DefaultClusterPagesPerBucket
+	}
+	m := &CM{
+		KeyCols:               keyCols,
+		KeyWidths:             keyWidths,
+		ClusterPagesPerBucket: clusterPagesPerBucket,
+		keyBytes:              rel.Schema.SubsetBytes(keyCols),
+		numPages:              rel.NumPages(),
+	}
+	seen := make(map[string]bool)
+	var keyBuf []byte
+	for i, row := range rel.Rows {
+		bucket := int32(rel.PageOfRow(i) / clusterPagesPerBucket)
+		key := make([]value.V, len(keyCols))
+		for j, c := range keyCols {
+			key[j] = bucketValue(row[c], keyWidths[j])
+		}
+		keyBuf = encodeKey(keyBuf[:0], key, bucket)
+		if seen[string(keyBuf)] {
+			continue
+		}
+		seen[string(keyBuf)] = true
+		m.pairs = append(m.pairs, pair{key: key, bucket: bucket})
+	}
+	sort.Slice(m.pairs, func(i, j int) bool {
+		c := value.CompareKeys(m.pairs[i].key, m.pairs[j].key)
+		if c != 0 {
+			return c < 0
+		}
+		return m.pairs[i].bucket < m.pairs[j].bucket
+	})
+	return m
+}
+
+func bucketValue(v, width value.V) value.V {
+	if width <= 1 {
+		return v
+	}
+	// Floor division that is stable for negative values.
+	q := v / width
+	if v%width != 0 && v < 0 {
+		q--
+	}
+	return q
+}
+
+func encodeKey(buf []byte, key []value.V, bucket int32) []byte {
+	for _, v := range key {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(v>>s))
+		}
+	}
+	for s := 0; s < 32; s += 8 {
+		buf = append(buf, byte(bucket>>s))
+	}
+	return buf
+}
+
+// NumPairs returns the number of stored (key, bucket) co-occurrences.
+func (m *CM) NumPairs() int { return len(m.pairs) }
+
+// Bytes is the CM size: one entry per distinct pair, unlike a dense B+Tree
+// which stores one entry per tuple.
+func (m *CM) Bytes() int64 {
+	return int64(len(m.pairs)) * int64(m.keyBytes+entryOverhead)
+}
+
+// Pages is the CM size in disk pages (minimum 1).
+func (m *CM) Pages() int {
+	p := int((m.Bytes() + storage.PageSize - 1) / storage.PageSize)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Covers reports whether the CM key is exactly the positions cols (order-
+// insensitive).
+func (m *CM) Covers(cols []int) bool {
+	if len(cols) != len(m.KeyCols) {
+		return false
+	}
+	set := make(map[int]bool, len(m.KeyCols))
+	for _, c := range m.KeyCols {
+		set[c] = true
+	}
+	for _, c := range cols {
+		if !set[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// Buckets returns the sorted distinct clustered buckets whose key bucket
+// could contain a value satisfying all the predicates (preds[i] applies to
+// KeyCols[i]; nil entries are unconstrained). Bucketing introduces false
+// positives but no false negatives.
+func (m *CM) Buckets(preds []*query.Predicate) []int32 {
+	var out []int32
+	seen := make(map[int32]bool)
+	for i := range m.pairs {
+		p := &m.pairs[i]
+		ok := true
+		for j, pred := range preds {
+			if pred == nil {
+				continue
+			}
+			if !bucketMayMatch(p.key[j], m.KeyWidths[j], pred) {
+				ok = false
+				break
+			}
+		}
+		if ok && !seen[p.bucket] {
+			seen[p.bucket] = true
+			out = append(out, p.bucket)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// bucketMayMatch reports whether the value bucket b (of the given width)
+// could contain a value matching pred.
+func bucketMayMatch(b, width value.V, pred *query.Predicate) bool {
+	if width <= 1 {
+		return pred.Matches(b)
+	}
+	lo, hi := b*width, b*width+width-1
+	plo, phi := pred.Bounds()
+	if hi < plo || lo > phi {
+		return false
+	}
+	if pred.Op == query.In {
+		for _, v := range pred.Set {
+			if v >= lo && v <= hi {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// PageRanges converts clustered buckets into merged half-open heap page
+// ranges [lo,hi), coalescing adjacent buckets so each range is one
+// sequential fragment.
+func (m *CM) PageRanges(buckets []int32) [][2]int {
+	var out [][2]int
+	w := m.ClusterPagesPerBucket
+	for _, b := range buckets {
+		lo := int(b) * w
+		hi := lo + w
+		if hi > m.numPages {
+			hi = m.numPages
+		}
+		if n := len(out); n > 0 && out[n-1][1] >= lo {
+			if hi > out[n-1][1] {
+				out[n-1][1] = hi
+			}
+			continue
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package cm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coradd/internal/query"
+	"coradd/internal/schema"
+	"coradd/internal/storage"
+	"coradd/internal/value"
+)
+
+// correlated builds t(a,b,c) clustered on a with b = a/10 (correlated) and
+// c random.
+func correlated(n int, seed int64) *storage.Relation {
+	s := schema.New(
+		schema.Column{Name: "a", ByteSize: 4},
+		schema.Column{Name: "b", ByteSize: 4},
+		schema.Column{Name: "c", ByteSize: 4},
+	)
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]value.Row, n)
+	for i := range rows {
+		a := value.V(rng.Intn(200))
+		rows[i] = value.Row{a, a / 10, value.V(rng.Intn(100))}
+	}
+	return storage.NewRelation("t", s, s.ColSet("a"), rows)
+}
+
+func TestCMNoFalseNegatives(t *testing.T) {
+	rel := correlated(20000, 1)
+	m := Build(rel, rel.Schema.ColSet("b"), []value.V{1}, 4)
+	prop := func(v uint8) bool {
+		p := query.NewEq("b", value.V(v%25))
+		ranges := m.PageRanges(m.Buckets([]*query.Predicate{&p}))
+		covered := func(page int) bool {
+			for _, r := range ranges {
+				if page >= r[0] && page < r[1] {
+					return true
+				}
+			}
+			return false
+		}
+		for i, row := range rel.Rows {
+			if p.Matches(row[rel.Schema.MustCol("b")]) && !covered(rel.PageOfRow(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketedCMNoFalseNegatives(t *testing.T) {
+	rel := correlated(20000, 2)
+	for _, width := range []value.V{2, 8, 32} {
+		m := Build(rel, rel.Schema.ColSet("b"), []value.V{width}, 4)
+		p := query.NewRange("b", 3, 7)
+		ranges := m.PageRanges(m.Buckets([]*query.Predicate{&p}))
+		covered := func(page int) bool {
+			for _, r := range ranges {
+				if page >= r[0] && page < r[1] {
+					return true
+				}
+			}
+			return false
+		}
+		for i, row := range rel.Rows {
+			if p.Matches(row[1]) && !covered(rel.PageOfRow(i)) {
+				t.Fatalf("width %d: matching row on uncovered page %d", width, rel.PageOfRow(i))
+			}
+		}
+	}
+}
+
+func TestWiderBucketsSmallerCM(t *testing.T) {
+	rel := correlated(20000, 3)
+	prev := int64(1 << 62)
+	for _, width := range []value.V{1, 2, 8, 64} {
+		m := Build(rel, rel.Schema.ColSet("c"), []value.V{width}, 4)
+		if m.Bytes() > prev {
+			t.Errorf("width %d CM bigger than narrower bucketing: %d > %d", width, m.Bytes(), prev)
+		}
+		prev = m.Bytes()
+	}
+}
+
+func TestCorrelatedCMSmallerThanUncorrelated(t *testing.T) {
+	rel := correlated(50000, 4)
+	mb := Build(rel, rel.Schema.ColSet("b"), []value.V{1}, 4) // correlated
+	mc := Build(rel, rel.Schema.ColSet("c"), []value.V{1}, 4) // uncorrelated
+	if mb.Bytes()*4 > mc.Bytes() {
+		t.Errorf("correlated CM %dB not ≪ uncorrelated %dB", mb.Bytes(), mc.Bytes())
+	}
+}
+
+func TestCMDwarfsDenseIndex(t *testing.T) {
+	rel := correlated(50000, 5)
+	m := Build(rel, rel.Schema.ColSet("b"), []value.V{1}, 4)
+	// One entry per distinct (b, bucket) pair, not per tuple.
+	if m.NumPairs() >= rel.NumRows()/10 {
+		t.Errorf("CM pairs %d not ≪ %d tuples", m.NumPairs(), rel.NumRows())
+	}
+}
+
+func TestPageRangesMergeAdjacent(t *testing.T) {
+	m := &CM{ClusterPagesPerBucket: 10, numPages: 100}
+	got := m.PageRanges([]int32{0, 1, 5})
+	if len(got) != 2 {
+		t.Fatalf("ranges = %v, want 2 (buckets 0,1 merge)", got)
+	}
+	if got[0] != [2]int{0, 20} || got[1] != [2]int{50, 60} {
+		t.Errorf("ranges = %v", got)
+	}
+}
+
+func TestPageRangesClampToHeap(t *testing.T) {
+	m := &CM{ClusterPagesPerBucket: 10, numPages: 15}
+	got := m.PageRanges([]int32{1})
+	if got[0][1] != 15 {
+		t.Errorf("range end = %d, want clamped to 15", got[0][1])
+	}
+}
+
+func TestDesignerPrefersCorrelatedKey(t *testing.T) {
+	// Large enough that sequential pages dominate the per-fragment seeks —
+	// on tiny heaps no CM beats a scan and the designer correctly abstains.
+	rel := correlated(300000, 6)
+	q := &query.Query{
+		Name: "q", Fact: "t",
+		Predicates: []query.Predicate{query.NewEq("b", 7), query.NewEq("c", 3)},
+		AggCol:     "c",
+	}
+	m := Design(rel, q, DefaultDesignerConfig())
+	if m == nil {
+		t.Fatal("designer returned nil")
+	}
+	hasB := false
+	for _, c := range m.KeyCols {
+		if c == rel.Schema.MustCol("b") {
+			hasB = true
+		}
+	}
+	if !hasB {
+		t.Errorf("designer's CM key %v skips the correlated attribute", m.KeyCols)
+	}
+	if m.Bytes() > DefaultSpaceLimit {
+		t.Errorf("designed CM exceeds the space limit: %d", m.Bytes())
+	}
+}
+
+func TestDesignerNilWhenOnlyClusteredPredicate(t *testing.T) {
+	rel := correlated(10000, 7)
+	q := &query.Query{
+		Name: "q", Fact: "t",
+		Predicates: []query.Predicate{query.NewEq("a", 7)},
+	}
+	if m := Design(rel, q, DefaultDesignerConfig()); m != nil {
+		t.Errorf("designer built a CM %v for a clustered-prefix-only query", m.KeyCols)
+	}
+}
+
+func TestCompositeCMKey(t *testing.T) {
+	rel := correlated(20000, 8)
+	m := Build(rel, rel.Schema.ColSet("b", "c"), []value.V{1, 4}, 4)
+	pb := query.NewEq("b", 5)
+	pc := query.NewRange("c", 10, 20)
+	ranges := m.PageRanges(m.Buckets([]*query.Predicate{&pb, &pc}))
+	covered := func(page int) bool {
+		for _, r := range ranges {
+			if page >= r[0] && page < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	for i, row := range rel.Rows {
+		if pb.Matches(row[1]) && pc.Matches(row[2]) && !covered(rel.PageOfRow(i)) {
+			t.Fatalf("composite CM missed page %d", rel.PageOfRow(i))
+		}
+	}
+}
+
+func TestCoversSetSemantics(t *testing.T) {
+	m := &CM{KeyCols: []int{2, 5}}
+	if !m.Covers([]int{5, 2}) {
+		t.Error("Covers should be order-insensitive")
+	}
+	if m.Covers([]int{2}) || m.Covers([]int{2, 5, 7}) {
+		t.Error("Covers should require exact set")
+	}
+}

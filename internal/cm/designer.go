@@ -1,0 +1,140 @@
+package cm
+
+import (
+	"sort"
+
+	"coradd/internal/btree"
+	"coradd/internal/query"
+	"coradd/internal/storage"
+)
+
+// DefaultSpaceLimit is the per-CM space budget: "1MB per CM in this paper"
+// (A-1.2). CORADD sets aside a small fixed pool for secondary indexes and
+// selects MVs independently (§5.4).
+const DefaultSpaceLimit = 1 << 20
+
+// DesignerConfig controls the CM Designer search (A-1.2).
+type DesignerConfig struct {
+	// SpaceLimit is the maximum CM size in bytes.
+	SpaceLimit int64
+	// Widths are the candidate bucket widths tried for each unclustered key
+	// attribute (equi-width bucketings built by truncation).
+	Widths []int64
+	// MaxKeyCols caps the composite CM key length the exhaustive search
+	// considers.
+	MaxKeyCols int
+	// ClusterPagesPerBucket is the fixed clustered bucketing width.
+	ClusterPagesPerBucket int
+	// Disk converts I/O into seconds when ranking candidates.
+	Disk storage.DiskParams
+}
+
+// DefaultDesignerConfig returns the configuration the paper describes.
+func DefaultDesignerConfig() DesignerConfig {
+	return DesignerConfig{
+		SpaceLimit:            DefaultSpaceLimit,
+		Widths:                []int64{1, 2, 4, 8, 16, 64},
+		MaxKeyCols:            2,
+		ClusterPagesPerBucket: DefaultClusterPagesPerBucket,
+		Disk:                  storage.DefaultDiskParams(),
+	}
+}
+
+// Design picks the fastest CM for query q on relation rel within the space
+// limit, trying every composite key (up to MaxKeyCols attributes) over the
+// query's predicated attributes that are not already a prefix of rel's
+// clustered key, and every bucketing width per attribute. Returns nil when
+// no CM helps (e.g. all predicates already on the clustered prefix, or
+// nothing fits the limit).
+func Design(rel *storage.Relation, q *query.Query, cfg DesignerConfig) *CM {
+	cands := candidateKeyCols(rel, q, cfg.MaxKeyCols)
+	if len(cands) == 0 {
+		return nil
+	}
+	height := btree.EstimateHeight(rel.NumPages(), rel.Schema.SubsetBytes(rel.ClusterKey))
+	var best *CM
+	bestCost := seqScanCost(rel, cfg.Disk)
+	for _, keyCols := range cands {
+		for _, widths := range widthGrid(len(keyCols), cfg.Widths) {
+			m := Build(rel, keyCols, widths, cfg.ClusterPagesPerBucket)
+			if m.Bytes() > cfg.SpaceLimit {
+				continue
+			}
+			c := lookupCost(rel, m, q, height, cfg.Disk)
+			if c < bestCost {
+				bestCost = c
+				best = m
+			}
+		}
+	}
+	return best
+}
+
+// candidateKeyCols enumerates composite key column sets of size 1..max over
+// the query's predicated attributes present in rel and not equal to the
+// first clustered attribute (a predicate there is served by the clustered
+// index directly).
+func candidateKeyCols(rel *storage.Relation, q *query.Query, max int) [][]int {
+	var cols []int
+	lead := -1
+	if len(rel.ClusterKey) > 0 {
+		lead = rel.ClusterKey[0]
+	}
+	for i := range q.Predicates {
+		c := rel.Schema.Col(q.Predicates[i].Col)
+		if c < 0 || c == lead {
+			continue
+		}
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	var out [][]int
+	// size-1 sets
+	for _, c := range cols {
+		out = append(out, []int{c})
+	}
+	if max >= 2 {
+		for i := 0; i < len(cols); i++ {
+			for j := i + 1; j < len(cols); j++ {
+				out = append(out, []int{cols[i], cols[j]})
+			}
+		}
+	}
+	return out
+}
+
+// widthGrid enumerates width assignments for n key columns. To keep the
+// exhaustive search bounded for composite keys, all columns share one width
+// from the grid when n > 1 (single-column keys sweep the full grid).
+func widthGrid(n int, widths []int64) [][]int64 {
+	var out [][]int64
+	for _, w := range widths {
+		ws := make([]int64, n)
+		for i := range ws {
+			ws[i] = w
+		}
+		out = append(out, ws)
+	}
+	return out
+}
+
+// lookupCost estimates the runtime of answering q through m: read the CM,
+// then for each merged clustered fragment pay height seeks plus the
+// fragment's sequential pages.
+func lookupCost(rel *storage.Relation, m *CM, q *query.Query, height int, disk storage.DiskParams) float64 {
+	preds := make([]*query.Predicate, len(m.KeyCols))
+	for i, c := range m.KeyCols {
+		preds[i] = q.Predicate(rel.Schema.Columns[c].Name)
+	}
+	ranges := m.PageRanges(m.Buckets(preds))
+	seeks := 1 + len(ranges)*height
+	pages := m.Pages()
+	for _, r := range ranges {
+		pages += r[1] - r[0]
+	}
+	return float64(seeks)*disk.SeekCost + float64(pages)*disk.PageReadCost
+}
+
+func seqScanCost(rel *storage.Relation, disk storage.DiskParams) float64 {
+	return disk.SeekCost + float64(rel.NumPages())*disk.PageReadCost
+}

@@ -1,0 +1,200 @@
+// Package costmodel implements the two query cost models the paper pits
+// against each other: the correlation-aware model of Appendix A-2.2 (used
+// by CORADD) and a correlation-oblivious model of the kind conventional
+// designers use (used by the Commercial baseline; see Figure 10).
+//
+// Both models price a query on a *hypothetical* MV design — columns plus a
+// clustered key over the base (pre-joined) fact relation — from statistics
+// only, without materializing anything. The common shape is the paper's
+//
+//	cost = fullscancost × selectivity + seek_cost × fragments × btree_height
+//
+// The models differ in how they estimate selectivity and, crucially,
+// fragments: the aware model measures co-occurrence with the clustered key
+// on a synopsis, the oblivious model assumes matching tuples are contiguous
+// regardless of clustering.
+package costmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"coradd/internal/btree"
+	"coradd/internal/query"
+	"coradd/internal/stats"
+	"coradd/internal/storage"
+)
+
+// MVDesign is a hypothetical materialized view: a projection of the base
+// fact relation clustered on ClusterKey. A fact-table re-clustering
+// (§4.3) is an MVDesign over all columns with FactRecluster set; it incurs
+// the extra primary-key secondary index in its size.
+type MVDesign struct {
+	// Name identifies the candidate for diagnostics.
+	Name string
+	// Cols are the base-relation column positions the MV carries, sorted.
+	Cols []int
+	// ClusterKey is the ordered clustered key, a subset of Cols.
+	ClusterKey []int
+	// FactRecluster marks a re-clustering of the fact table itself rather
+	// than a projected MV.
+	FactRecluster bool
+	// PKCols are the primary-key columns of the fact table; a re-clustered
+	// fact table must carry a secondary index on them (§4.3).
+	PKCols []int
+	// FactGroup is the ILP mutual-exclusion group for fact re-clusterings
+	// (condition 4 of §5.1); meaningful only when FactRecluster is set.
+	FactGroup int
+	// Queries is the query group the candidate was generated for
+	// (indexes into the workload); informational, used by ILP feedback.
+	Queries []int
+}
+
+// HasCol reports whether base column c is carried by the design.
+func (d *MVDesign) HasCol(c int) bool {
+	i := sort.SearchInts(d.Cols, c)
+	return i < len(d.Cols) && d.Cols[i] == c
+}
+
+// Covers reports whether the design carries every attribute q needs,
+// resolving names through the base schema in st.
+func (d *MVDesign) Covers(st *stats.Stats, q *query.Query) bool {
+	for _, name := range q.AllColumns() {
+		c := st.Rel.Schema.Col(name)
+		if c < 0 || !d.HasCol(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// RowBytes is the logical tuple width of the MV.
+func (d *MVDesign) RowBytes(st *stats.Stats) int {
+	return st.Rel.Schema.SubsetBytes(d.Cols)
+}
+
+// NumPages is the MV heap size in pages (it carries one row per base row —
+// designs are pre-joined projections, not aggregates).
+func (d *MVDesign) NumPages(st *stats.Stats) int {
+	tpp := storage.PageSize / d.RowBytes(st)
+	if tpp < 1 {
+		tpp = 1
+	}
+	return (st.NumRows() + tpp - 1) / tpp
+}
+
+// Bytes is the total space charge of the design: heap pages, plus the PK
+// secondary index for fact re-clusterings. (CMs are budgeted separately,
+// §5.4.)
+func (d *MVDesign) Bytes(st *stats.Stats) int64 {
+	n := int64(d.NumPages(st)) * storage.PageSize
+	if d.FactRecluster && len(d.PKCols) > 0 {
+		n += btree.EstimateBytes(st.NumRows(), st.Rel.Schema.SubsetBytes(d.PKCols))
+	}
+	return n
+}
+
+// Height is the clustered B+Tree path length of the design.
+func (d *MVDesign) Height(st *stats.Stats) int {
+	kb := st.Rel.Schema.SubsetBytes(d.ClusterKey)
+	if kb == 0 {
+		kb = 8
+	}
+	return btree.EstimateHeight(d.NumPages(st), kb)
+}
+
+// Key returns a canonical identity string: columns + clustered key +
+// fact-recluster flag. Two candidates with equal keys are the same design.
+func (d *MVDesign) Key() string {
+	b := make([]byte, 0, 2*(len(d.Cols)+len(d.ClusterKey))+1)
+	for _, c := range d.Cols {
+		b = append(b, byte(c), byte(c>>8))
+	}
+	b = append(b, 0xff)
+	for _, c := range d.ClusterKey {
+		b = append(b, byte(c), byte(c>>8))
+	}
+	if d.FactRecluster {
+		b = append(b, 0xfe)
+	}
+	return string(b)
+}
+
+// String renders the design for diagnostics.
+func (d *MVDesign) String() string {
+	return fmt.Sprintf("%s{cols=%v key=%v fact=%v}", d.Name, d.Cols, d.ClusterKey, d.FactRecluster)
+}
+
+// Model prices a query on a hypothetical design.
+type Model interface {
+	// Name identifies the model in experiment output.
+	Name() string
+	// Estimate returns the predicted runtime in seconds of the cheapest
+	// access path for q on d and which path that is. Returns +Inf when the
+	// design cannot answer q.
+	Estimate(d *MVDesign, q *query.Query) (float64, PathKind)
+}
+
+// PathKind is the access path a model assumed.
+type PathKind int
+
+const (
+	// PathSeqScan is a full heap scan.
+	PathSeqScan PathKind = iota
+	// PathClustered narrows through predicates on the clustered prefix.
+	PathClustered
+	// PathCM reaches the heap through a correlation map on predicated
+	// unclustered attributes.
+	PathCM
+	// PathSecondary is a dense B+Tree secondary scan (oblivious model).
+	PathSecondary
+	// PathInfeasible means the design cannot answer the query.
+	PathInfeasible
+)
+
+// String names the path.
+func (k PathKind) String() string {
+	switch k {
+	case PathSeqScan:
+		return "seqscan"
+	case PathClustered:
+		return "clustered"
+	case PathCM:
+		return "cm"
+	case PathSecondary:
+		return "secondary"
+	case PathInfeasible:
+		return "infeasible"
+	default:
+		return fmt.Sprintf("path(%d)", int(k))
+	}
+}
+
+// prefixWalk computes (fragments, usedPreds) for the clustered-prefix
+// access path shared by both models: descend the clustered key while
+// predicates allow — equality continues, IN multiplies fragments by its
+// value count and continues, range stops after narrowing, a missing
+// predicate stops.
+func prefixWalk(st *stats.Stats, d *MVDesign, q *query.Query) (fragments float64, used []*query.Predicate) {
+	fragments = 1
+	for _, c := range d.ClusterKey {
+		p := q.Predicate(st.Rel.Schema.Columns[c].Name)
+		if p == nil {
+			break
+		}
+		used = append(used, p)
+		switch p.Op {
+		case query.Eq:
+			// one contiguous run per enclosing run
+		case query.In:
+			n := float64(len(p.Set))
+			if dc := st.Distinct(c); dc < n {
+				n = dc
+			}
+			fragments *= n
+		case query.Range:
+			return fragments, used
+		}
+	}
+	return fragments, used
+}

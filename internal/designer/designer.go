@@ -1,0 +1,189 @@
+// Package designer assembles the complete automatic designers the paper
+// evaluates: CORADD (correlation-aware candidates + exact ILP + ILP
+// feedback + correlation maps), the Commercial baseline (dedicated and
+// concatenation-merged candidates + dense B+Tree secondary indexes +
+// correlation-oblivious cost model + Greedy(m,k) selection), the Naive
+// designer of Experiment 2 (fact re-clusterings and dedicated MVs only),
+// and an OPT brute-force reference for small workloads (Figure 7).
+package designer
+
+import (
+	"fmt"
+
+	"coradd/internal/candgen"
+	"coradd/internal/costmodel"
+	"coradd/internal/feedback"
+	"coradd/internal/ilp"
+	"coradd/internal/query"
+	"coradd/internal/stats"
+	"coradd/internal/storage"
+)
+
+// Style says how a design is materialized and how plans are picked at run
+// time, mirroring what each tool deploys.
+type Style int
+
+const (
+	// StyleCORADD deploys correlation maps on each object and routes
+	// queries through rewriting — effectively the best available path.
+	StyleCORADD Style = iota
+	// StyleCommercial deploys dense B+Tree secondary indexes and picks the
+	// plan its (oblivious) model believes fastest.
+	StyleCommercial
+)
+
+// Design is a completed physical design for one fact table's workload.
+type Design struct {
+	// Name labels the producing designer.
+	Name string
+	// Style controls materialization and run-time plan choice.
+	Style Style
+	// Budget is the space budget the design was built for.
+	Budget int64
+	// Chosen are the selected objects.
+	Chosen []*costmodel.MVDesign
+	// Base is the default fact-table design every query can fall back to.
+	Base *costmodel.MVDesign
+	// Routing[q] indexes Chosen, or -1 for the base design.
+	Routing []int
+	// Expected[q] is the producing model's runtime estimate in seconds.
+	Expected []float64
+	// Paths[q] is the access path the model assumed.
+	Paths []costmodel.PathKind
+	// Size is the total space charged against the budget.
+	Size int64
+}
+
+// TotalExpected sums weighted expected runtimes.
+func (d *Design) TotalExpected(w query.Workload) float64 {
+	total := 0.0
+	for qi, q := range w {
+		total += q.EffectiveWeight() * d.Expected[qi]
+	}
+	return total
+}
+
+// Designer produces designs for varying budgets.
+type Designer interface {
+	Name() string
+	Design(budget int64) (*Design, error)
+}
+
+// Common bundles what every designer needs.
+type Common struct {
+	St   *stats.Stats
+	W    query.Workload
+	Disk storage.DiskParams
+	// PKCols are the fact table's primary-key columns.
+	PKCols []int
+	// BaseKey is the fact table's existing clustered key (typically the PK).
+	BaseKey []int
+}
+
+// BaseDesign describes the always-available fact table as a design.
+func (c *Common) BaseDesign() *costmodel.MVDesign {
+	all := make([]int, len(c.St.Rel.Schema.Columns))
+	for i := range all {
+		all[i] = i
+	}
+	return &costmodel.MVDesign{Name: "base", Cols: all, ClusterKey: c.BaseKey}
+}
+
+// baseTimes prices every query on the base design under model.
+func (c *Common) baseTimes(model costmodel.Model) []float64 {
+	base := c.BaseDesign()
+	out := make([]float64, len(c.W))
+	for qi, q := range c.W {
+		t, _ := model.Estimate(base, q)
+		out[qi] = t
+	}
+	return out
+}
+
+// routedDesign assembles a Design from an ILP solution.
+func routedDesign(name string, style Style, c *Common, model costmodel.Model,
+	budget int64, designs []*costmodel.MVDesign, sol *ilp.Solution) *Design {
+
+	d := &Design{
+		Name:   name,
+		Style:  style,
+		Budget: budget,
+		Base:   c.BaseDesign(),
+		Size:   sol.Size,
+	}
+	for _, ci := range sol.Chosen {
+		d.Chosen = append(d.Chosen, designs[ci])
+	}
+	d.Routing = make([]int, len(c.W))
+	d.Expected = make([]float64, len(c.W))
+	d.Paths = make([]costmodel.PathKind, len(c.W))
+	for qi, q := range c.W {
+		best, kind := model.Estimate(d.Base, q)
+		route := -1
+		for i, md := range d.Chosen {
+			if t, k := model.Estimate(md, q); t < best {
+				best, kind, route = t, k, i
+			}
+		}
+		d.Routing[qi] = route
+		d.Expected[qi] = best
+		d.Paths[qi] = kind
+	}
+	return d
+}
+
+// CORADD is the paper's designer.
+type CORADD struct {
+	Common
+	Model *costmodel.Aware
+	Gen   *candgen.Generator
+	// Feedback configures the ILP feedback loop; Feedback.MaxIters == -1
+	// disables feedback (plain ILP, used for the Figure 7 comparison).
+	Feedback feedback.Config
+
+	initial []*costmodel.MVDesign
+	base    []float64
+}
+
+// NewCORADD builds the designer and runs candidate generation once; the
+// same candidate pool is reused across budgets, as in the paper.
+func NewCORADD(c Common, cfg candgen.Config, fb feedback.Config) *CORADD {
+	model := costmodel.NewAware(c.St, c.Disk)
+	gen := candgen.New(c.St, model, c.W, cfg)
+	gen.PKCols = c.PKCols
+	d := &CORADD{Common: c, Model: model, Gen: gen, Feedback: fb}
+	d.initial = gen.Generate()
+	d.base = d.baseTimes(model)
+	return d
+}
+
+// Name implements Designer.
+func (d *CORADD) Name() string {
+	if d.Feedback.MaxIters == -1 {
+		return "CORADD-noFB"
+	}
+	return "CORADD"
+}
+
+// Candidates exposes the initial candidate pool (before feedback).
+func (d *CORADD) Candidates() []*costmodel.MVDesign { return d.initial }
+
+// BaseTimes exposes the per-query runtimes on the base design under the
+// correlation-aware model, the fallback column of the ILP.
+func (d *CORADD) BaseTimes() []float64 { return d.base }
+
+// Design implements Designer.
+func (d *CORADD) Design(budget int64) (*Design, error) {
+	if len(d.W) == 0 {
+		return nil, fmt.Errorf("designer: empty workload")
+	}
+	var res *feedback.Result
+	if d.Feedback.MaxIters == -1 {
+		prob, aligned := feedback.BuildProblem(d.Gen, d.initial, d.base, budget)
+		sol := ilp.Solve(prob, d.Feedback.Solve)
+		res = &feedback.Result{Sol: sol, Prob: prob, Designs: aligned}
+	} else {
+		res = feedback.Run(d.Gen, d.initial, d.base, budget, d.Feedback)
+	}
+	return routedDesign(d.Name(), StyleCORADD, &d.Common, d.Model, budget, res.Designs, res.Sol), nil
+}

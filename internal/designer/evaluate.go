@@ -1,0 +1,288 @@
+package designer
+
+import (
+	"fmt"
+	"sort"
+
+	"coradd/internal/btree"
+	"coradd/internal/cm"
+	"coradd/internal/costmodel"
+	"coradd/internal/exec"
+	"coradd/internal/query"
+	"coradd/internal/schema"
+	"coradd/internal/storage"
+)
+
+// Materialized is a deployed design: real relations, indexes and CMs, plus
+// the per-query plan the deploying tool would run.
+type Materialized struct {
+	// Objects aligns with the design's Chosen.
+	Objects []*exec.Object
+	// Base is the default fact table.
+	Base *exec.Object
+	// Plan[q] is the object and plan spec query q runs.
+	Plan []RoutedPlan
+	// Bytes is the measured total size of the extra objects (excluding the
+	// base heap, which exists regardless).
+	Bytes int64
+}
+
+// RoutedPlan routes one query.
+type RoutedPlan struct {
+	Object *exec.Object
+	Spec   exec.PlanSpec
+}
+
+// Evaluator materializes designs over the real fact relation and measures
+// simulated runtimes. Commercial designs get their dense secondary indexes
+// (cols chosen by the Commercial designer); CORADD-style designs get CMs
+// from the CM Designer.
+type Evaluator struct {
+	Fact *storage.Relation
+	W    query.Workload
+	Disk storage.DiskParams
+	// CMConfig tunes the CM Designer for CORADD-style designs.
+	CMConfig cm.DesignerConfig
+	// Commercial supplies secondary-index choices for commercial designs.
+	Commercial *Commercial
+}
+
+// NewEvaluator builds an evaluator over the fact relation.
+func NewEvaluator(fact *storage.Relation, w query.Workload, disk storage.DiskParams) *Evaluator {
+	return &Evaluator{Fact: fact, W: w, Disk: disk, CMConfig: cm.DefaultDesignerConfig()}
+}
+
+// Materialize deploys the design.
+func (e *Evaluator) Materialize(d *Design) (*Materialized, error) {
+	m := &Materialized{}
+	m.Base = exec.NewObject(e.Fact)
+	// Materialize chosen objects.
+	for _, md := range d.Chosen {
+		obj, err := e.materializeObject(d, md)
+		if err != nil {
+			return nil, err
+		}
+		m.Objects = append(m.Objects, obj)
+		m.Bytes += obj.Bytes()
+		if md.FactRecluster {
+			// The re-clustered heap replaces the base heap; only the PK
+			// index is extra space, which obj.Bytes already includes via
+			// PKIndex. Remove the heap double-count.
+			m.Bytes -= obj.Rel.HeapBytes()
+		}
+	}
+	// Route and pick plans.
+	m.Plan = make([]RoutedPlan, len(e.W))
+	for qi, q := range e.W {
+		obj := m.Base
+		if r := d.Routing[qi]; r >= 0 {
+			obj = m.Objects[r]
+		}
+		spec, err := e.choosePlan(d, obj, q)
+		if err != nil {
+			return nil, err
+		}
+		m.Plan[qi] = RoutedPlan{Object: obj, Spec: spec}
+	}
+	return m, nil
+}
+
+// materializeObject builds the physical object for one chosen design.
+func (e *Evaluator) materializeObject(d *Design, md *costmodel.MVDesign) (*exec.Object, error) {
+	newKey := make([]int, len(md.ClusterKey))
+	for i, c := range md.ClusterKey {
+		pos := indexOf(md.Cols, c)
+		if pos < 0 {
+			return nil, fmt.Errorf("designer: cluster key column %d not in MV columns", c)
+		}
+		newKey[i] = pos
+	}
+	rel := e.Fact.Project(md.Name, md.Cols, newKey)
+	obj := exec.NewObject(rel)
+	if md.FactRecluster && len(md.PKCols) > 0 {
+		pkPos := make([]int, len(md.PKCols))
+		for i, c := range md.PKCols {
+			pkPos[i] = indexOf(md.Cols, c)
+		}
+		obj.PKIndex = btree.BuildFromRelation(rel, pkPos)
+	}
+	switch d.Style {
+	case StyleCORADD:
+		// CM Designer: one CM per query the object serves (A-1.2), within
+		// the per-CM space limit, deduplicated by key columns.
+		for qi, q := range e.W {
+			if d.Routing[qi] < 0 || d.Chosen[d.Routing[qi]] != md {
+				continue
+			}
+			cmDesign := cm.Design(rel, q, e.CMConfig)
+			if cmDesign == nil {
+				continue
+			}
+			dup := false
+			for _, existing := range obj.CMs {
+				if existing.Covers(cmDesign.KeyCols) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				obj.AddCM(cmDesign)
+			}
+		}
+	case StyleCommercial:
+		var idxCols []int // base-schema column positions
+		if e.Commercial != nil {
+			idxCols = e.Commercial.SecondaryIndexCols(md)
+		} else {
+			idxCols = predicatedNonLead(e.W, e.Fact.Schema, md)
+		}
+		for _, c := range idxCols {
+			pos := indexOf(md.Cols, c)
+			if pos >= 0 {
+				obj.AddBTree([]int{pos})
+			}
+		}
+	}
+	return obj, nil
+}
+
+// choosePlan picks the plan the deploying tool would run. CORADD rewrites
+// queries to force its intended (accurately costed) path, so the best
+// available plan runs; the commercial tool's optimizer trusts the
+// oblivious model, so its believed-cheapest plan runs even when reality
+// disagrees.
+func (e *Evaluator) choosePlan(d *Design, obj *exec.Object, q *query.Query) (exec.PlanSpec, error) {
+	switch d.Style {
+	case StyleCommercial:
+		return e.obliviousPlanChoice(obj, q), nil
+	default:
+		r, err := exec.Best(obj, q, e.Disk)
+		if err != nil {
+			return exec.PlanSpec{}, err
+		}
+		return r.Plan, nil
+	}
+}
+
+// obliviousPlanChoice mirrors costmodel.Oblivious at the physical level:
+// prefer the clustered path when the lead attribute is predicated; else a
+// secondary index on the most selective predicated attribute if the
+// believed cost (contiguity assumption) beats a scan; else scan.
+func (e *Evaluator) obliviousPlanChoice(obj *exec.Object, q *query.Query) exec.PlanSpec {
+	rel := obj.Rel
+	if len(rel.ClusterKey) > 0 {
+		lead := rel.Schema.Columns[rel.ClusterKey[0]].Name
+		if q.Predicate(lead) != nil {
+			return exec.PlanSpec{Kind: exec.ClusteredScan}
+		}
+	}
+	bestIdx, bestSel := -1, 0.25 // believed break-even vs. a full scan
+	for i, idx := range obj.BTrees {
+		name := rel.Schema.Columns[idx.Cols[0]].Name
+		p := q.Predicate(name)
+		if p == nil {
+			continue
+		}
+		sel := fractionMatching(rel, idx.Cols[0], p)
+		if sel < bestSel {
+			bestSel = sel
+			bestIdx = i
+		}
+	}
+	if bestIdx >= 0 {
+		return exec.PlanSpec{Kind: exec.SecondaryScan, Index: bestIdx}
+	}
+	return exec.PlanSpec{Kind: exec.SeqScan}
+}
+
+func fractionMatching(rel *storage.Relation, col int, p *query.Predicate) float64 {
+	n := 0
+	// Sample every 64th row; this is the optimizer's own statistic.
+	step := 64
+	if len(rel.Rows) < 4096 {
+		step = 1
+	}
+	seenRows := 0
+	for i := 0; i < len(rel.Rows); i += step {
+		seenRows++
+		if p.Matches(rel.Rows[i][col]) {
+			n++
+		}
+	}
+	if seenRows == 0 {
+		return 1
+	}
+	return float64(n) / float64(seenRows)
+}
+
+// RunResult is the measured outcome of one design.
+type RunResult struct {
+	// PerQuery are simulated seconds per query (unweighted).
+	PerQuery []float64
+	// Total is the weighted total in seconds.
+	Total float64
+	// Sums are the query answers, for cross-design correctness checks.
+	Sums []int64
+}
+
+// Run executes every workload query through the materialized design and
+// returns simulated runtimes.
+func (e *Evaluator) Run(m *Materialized) (*RunResult, error) {
+	res := &RunResult{
+		PerQuery: make([]float64, len(e.W)),
+		Sums:     make([]int64, len(e.W)),
+	}
+	for qi, q := range e.W {
+		rp := m.Plan[qi]
+		r, err := exec.Execute(rp.Object, q, rp.Spec)
+		if err != nil {
+			return nil, err
+		}
+		res.PerQuery[qi] = r.Seconds(e.Disk)
+		res.Sums[qi] = r.Sum
+		res.Total += q.EffectiveWeight() * res.PerQuery[qi]
+	}
+	return res, nil
+}
+
+// Measure is Materialize followed by Run.
+func (e *Evaluator) Measure(d *Design) (*RunResult, error) {
+	m, err := e.Materialize(d)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(m)
+}
+
+func indexOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// predicatedNonLead returns base-schema positions of predicated attributes
+// carried by md other than its clustered lead.
+func predicatedNonLead(w query.Workload, base *schema.Schema, md *costmodel.MVDesign) []int {
+	lead := -1
+	if len(md.ClusterKey) > 0 {
+		lead = md.ClusterKey[0]
+	}
+	set := map[int]bool{}
+	for _, q := range w {
+		for i := range q.Predicates {
+			c := base.Col(q.Predicates[i].Col)
+			if c >= 0 && c != lead && md.HasCol(c) {
+				set[c] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}

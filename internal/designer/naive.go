@@ -1,0 +1,57 @@
+package designer
+
+import (
+	"fmt"
+
+	"coradd/internal/candgen"
+	"coradd/internal/costmodel"
+	"coradd/internal/feedback"
+	"coradd/internal/ilp"
+)
+
+// Naive is the simple correlation-aware strawman of Experiment 2: only
+// fact-table re-clusterings and one dedicated MV per query — no query
+// grouping, no merging — greedily packing as many candidates as fit. It
+// shares CORADD's cost model, so its wins over Commercial isolate the value
+// of correlation-awareness, and its losses to CORADD isolate the value of
+// shared MVs.
+type Naive struct {
+	Common
+	Model *costmodel.Aware
+	Gen   *candgen.Generator
+
+	designs []*costmodel.MVDesign
+	base    []float64
+}
+
+// NewNaive builds the designer and its (small) candidate pool.
+func NewNaive(c Common, cfg candgen.Config) *Naive {
+	model := costmodel.NewAware(c.St, c.Disk)
+	gen := candgen.New(c.St, model, c.W, cfg)
+	gen.PKCols = c.PKCols
+	d := &Naive{Common: c, Model: model, Gen: gen}
+	for qi := range c.W {
+		ds := gen.GroupDesigns([]int{qi}, 1)
+		d.designs = append(d.designs, ds...)
+	}
+	for _, md := range gen.FactReclusterings() {
+		if len(md.ClusterKey) == 1 {
+			d.designs = append(d.designs, md)
+		}
+	}
+	d.base = d.baseTimes(model)
+	return d
+}
+
+// Name implements Designer.
+func (d *Naive) Name() string { return "Naive" }
+
+// Design implements Designer: greedy fill by benefit.
+func (d *Naive) Design(budget int64) (*Design, error) {
+	if len(d.W) == 0 {
+		return nil, fmt.Errorf("designer: empty workload")
+	}
+	prob, aligned := feedback.BuildProblem(d.Gen, d.designs, d.base, budget)
+	sol := ilp.Greedy(prob, 1, 0)
+	return routedDesign(d.Name(), StyleCORADD, &d.Common, d.Model, budget, aligned, sol), nil
+}

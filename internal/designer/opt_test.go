@@ -1,0 +1,63 @@
+package designer
+
+import (
+	"testing"
+
+	"coradd/internal/feedback"
+)
+
+func TestOPTIsLowerBound(t *testing.T) {
+	rel, _, c := smallSSB(t, 30000)
+	sub := c
+	sub.W = c.W[:5]
+	cfg := smallCandCfg()
+	opt, err := NewOPT(sub, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coradd := NewCORADD(sub, cfg, feedback.Config{MaxIters: -1})
+	for _, mult := range []int64{1, 3, 6} {
+		budget := rel.HeapBytes() * mult
+		od, err := opt.Design(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cd, err := coradd.Design(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if od.TotalExpected(sub.W) > cd.TotalExpected(sub.W)+1e-9 {
+			t.Errorf("budget %dx: OPT %.5f worse than heuristic candidates %.5f",
+				mult, od.TotalExpected(sub.W), cd.TotalExpected(sub.W))
+		}
+		if od.Size > budget {
+			t.Errorf("budget %dx: OPT design over budget", mult)
+		}
+	}
+}
+
+func TestOPTRefusesLargeWorkloads(t *testing.T) {
+	_, _, c := smallSSB(t, 5000)
+	// Inflate the workload past the guard.
+	big := c
+	for len(big.W) <= MaxOPTQueries {
+		big.W = append(big.W, c.W...)
+	}
+	if _, err := NewOPT(big, smallCandCfg(), 1); err == nil {
+		t.Error("OPT accepted an intractable workload")
+	}
+}
+
+func TestOPTCandidatePoolIsExhaustive(t *testing.T) {
+	_, _, c := smallSSB(t, 10000)
+	sub := c
+	sub.W = c.W[:4]
+	opt, err := NewOPT(sub, smallCandCfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2^4 − 1 groupings with ≥1 clustering each, plus fact re-clusterings.
+	if opt.NumCandidates() < 15 {
+		t.Errorf("OPT enumerated %d candidates, want ≥ 15", opt.NumCandidates())
+	}
+}

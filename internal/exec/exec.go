@@ -1,0 +1,515 @@
+// Package exec executes workload queries against materialized design
+// objects (fact tables or MVs with clustered keys, dense B+Tree secondary
+// indexes, and correlation maps), counting page reads and random seeks.
+//
+// The I/O accounting follows the paper's cost model (Appendix A-2.2): the
+// heap is reached through its clustered B+Tree, so every contiguous heap
+// fragment a plan touches costs btree_height random reads (the root-to-leaf
+// descent) plus the fragment's sequential pages. This mirrors a
+// clustered-table DBMS (the paper's commercial system), where secondary
+// index entries carry clustered keys rather than physical RIDs.
+package exec
+
+import (
+	"fmt"
+
+	"coradd/internal/btree"
+	"coradd/internal/cm"
+	"coradd/internal/query"
+	"coradd/internal/storage"
+	"coradd/internal/value"
+)
+
+// FragmentGap is the prefetch window in pages: two touched pages at most
+// this far apart belong to one sequential fragment (the gap pages are read
+// through rather than seeking). Matches the model's notion that "two tuples
+// placed at nearby positions in the heap file [are] one fragment".
+const FragmentGap = 4
+
+// SecondaryIndex is a dense B+Tree secondary index over an object.
+type SecondaryIndex struct {
+	Cols []int // indexed column positions in the object's schema
+	Tree *btree.Tree
+}
+
+// Object is a materialized design object: a clustered relation plus its
+// secondary structures.
+type Object struct {
+	Rel *storage.Relation
+	// Height is the clustered B+Tree path length used for the per-fragment
+	// seek charge; computed at materialization time.
+	Height int
+	BTrees []*SecondaryIndex
+	CMs    []*cm.CM
+	// PKIndex, when non-nil, is the extra primary-key secondary index a
+	// re-clustered fact table must carry (§4.3); counted in size only.
+	PKIndex *btree.Tree
+	// visit, when non-nil, is called for every matching row a plan
+	// produces; ExecuteGrouped installs it to build per-group aggregates
+	// without duplicating the plan machinery.
+	visit func(value.Row)
+}
+
+// NewObject wraps rel, computing the clustered height.
+func NewObject(rel *storage.Relation) *Object {
+	keyBytes := rel.Schema.SubsetBytes(rel.ClusterKey)
+	if keyBytes == 0 {
+		keyBytes = 8
+	}
+	return &Object{Rel: rel, Height: btree.EstimateHeight(rel.NumPages(), keyBytes)}
+}
+
+// AddBTree builds and attaches a dense secondary index on cols.
+func (o *Object) AddBTree(cols []int) *SecondaryIndex {
+	idx := &SecondaryIndex{Cols: cols, Tree: btree.BuildFromRelation(o.Rel, cols)}
+	o.BTrees = append(o.BTrees, idx)
+	return idx
+}
+
+// AddCM attaches a correlation map.
+func (o *Object) AddCM(m *cm.CM) { o.CMs = append(o.CMs, m) }
+
+// Bytes is the object's total size: heap + secondary structures.
+func (o *Object) Bytes() int64 {
+	n := o.Rel.HeapBytes()
+	for _, b := range o.BTrees {
+		n += b.Tree.Bytes()
+	}
+	for _, m := range o.CMs {
+		n += m.Bytes()
+	}
+	if o.PKIndex != nil {
+		n += o.PKIndex.Bytes()
+	}
+	return n
+}
+
+// Covers reports whether the object contains every attribute q needs.
+func (o *Object) Covers(q *query.Query) bool {
+	for _, c := range q.AllColumns() {
+		if o.Rel.Schema.Col(c) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PlanKind selects an access path.
+type PlanKind int
+
+const (
+	// SeqScan reads the whole heap once.
+	SeqScan PlanKind = iota
+	// ClusteredScan narrows the heap through predicates on a prefix of the
+	// clustered key.
+	ClusteredScan
+	// SecondaryScan uses a dense B+Tree secondary index with a sorted
+	// fragment sweep of the heap.
+	SecondaryScan
+	// CMScan rewrites predicates through a correlation map into clustered
+	// page ranges (the paper's query-rewriting technique, A-1.3).
+	CMScan
+)
+
+// String names the plan kind.
+func (k PlanKind) String() string {
+	switch k {
+	case SeqScan:
+		return "seqscan"
+	case ClusteredScan:
+		return "clustered"
+	case SecondaryScan:
+		return "secondary"
+	case CMScan:
+		return "cm"
+	default:
+		return fmt.Sprintf("plan(%d)", int(k))
+	}
+}
+
+// PlanSpec identifies one concrete plan on an object.
+type PlanSpec struct {
+	Kind PlanKind
+	// Index selects o.BTrees[Index] or o.CMs[Index] for the index kinds.
+	Index int
+}
+
+// Result is the outcome of executing a query.
+type Result struct {
+	// Sum is the total of the query's AggCol over matching rows; identical
+	// across all correct plans, which the tests exploit.
+	Sum int64
+	// Rows is the number of matching tuples.
+	Rows int
+	// IO is the accumulated I/O.
+	IO storage.IOStats
+	// Plan records which plan ran.
+	Plan PlanSpec
+	// Fragments is the number of sequential heap fragments the plan read
+	// after prefetch-gap merging; TouchedIntervals counts the contiguous
+	// touched-page runs before merging (the paper's Figure 10 x-axis).
+	Fragments, TouchedIntervals int
+}
+
+// Seconds converts the result's I/O into simulated seconds.
+func (r Result) Seconds(p storage.DiskParams) float64 { return r.IO.Seconds(p) }
+
+// Execute runs q on o with the chosen plan. The object must cover q.
+func Execute(o *Object, q *query.Query, spec PlanSpec) (Result, error) {
+	if !o.Covers(q) {
+		return Result{}, fmt.Errorf("exec: object %s does not cover query %s", o.Rel.Name, q.Name)
+	}
+	switch spec.Kind {
+	case SeqScan:
+		return execSeqScan(o, q), nil
+	case ClusteredScan:
+		return execClusteredScan(o, q), nil
+	case SecondaryScan:
+		if spec.Index < 0 || spec.Index >= len(o.BTrees) {
+			return Result{}, fmt.Errorf("exec: no secondary index %d on %s", spec.Index, o.Rel.Name)
+		}
+		return execSecondaryScan(o, q, o.BTrees[spec.Index]), nil
+	case CMScan:
+		if spec.Index < 0 || spec.Index >= len(o.CMs) {
+			return Result{}, fmt.Errorf("exec: no CM %d on %s", spec.Index, o.Rel.Name)
+		}
+		return execCMScan(o, q, o.CMs[spec.Index]), nil
+	default:
+		return Result{}, fmt.Errorf("exec: unknown plan kind %d", spec.Kind)
+	}
+}
+
+// Plans enumerates the feasible plans for q on o, cheapest kinds last so
+// callers iterating in order see the trivial plan first.
+func Plans(o *Object, q *query.Query) []PlanSpec {
+	specs := []PlanSpec{{Kind: SeqScan}}
+	if len(o.Rel.ClusterKey) > 0 {
+		lead := o.Rel.Schema.Columns[o.Rel.ClusterKey[0]].Name
+		if q.Predicate(lead) != nil {
+			specs = append(specs, PlanSpec{Kind: ClusteredScan})
+		}
+	}
+	for i, idx := range o.BTrees {
+		lead := o.Rel.Schema.Columns[idx.Cols[0]].Name
+		if q.Predicate(lead) != nil {
+			specs = append(specs, PlanSpec{Kind: SecondaryScan, Index: i})
+		}
+	}
+	for i, m := range o.CMs {
+		usable := false
+		for _, c := range m.KeyCols {
+			if q.Predicate(o.Rel.Schema.Columns[c].Name) != nil {
+				usable = true
+				break
+			}
+		}
+		if usable {
+			specs = append(specs, PlanSpec{Kind: CMScan, Index: i})
+		}
+	}
+	return specs
+}
+
+// Best executes every feasible plan and returns the result of the one with
+// the smallest simulated runtime. Used by tests and by experiments that
+// model an oracle optimizer.
+func Best(o *Object, q *query.Query, disk storage.DiskParams) (Result, error) {
+	var best Result
+	found := false
+	for _, spec := range Plans(o, q) {
+		r, err := Execute(o, q, spec)
+		if err != nil {
+			return Result{}, err
+		}
+		if !found || r.Seconds(disk) < best.Seconds(disk) {
+			best = r
+			found = true
+		}
+	}
+	if !found {
+		return Result{}, fmt.Errorf("exec: no feasible plan for %s on %s", q.Name, o.Rel.Name)
+	}
+	return best, nil
+}
+
+// sumRange accumulates the aggregate and match count over rows [lo,hi).
+func sumRange(o *Object, q *query.Query, lo, hi int, col func(string) int, agg int) (sum int64, rows int) {
+	for i := lo; i < hi; i++ {
+		row := o.Rel.Rows[i]
+		if q.MatchesRow(row, col) {
+			rows++
+			if agg >= 0 {
+				sum += int64(row[agg])
+			}
+			if o.visit != nil {
+				o.visit(row)
+			}
+		}
+	}
+	return sum, rows
+}
+
+func colFn(o *Object) func(string) int {
+	s := o.Rel.Schema
+	return func(name string) int { return s.MustCol(name) }
+}
+
+func aggCol(o *Object, q *query.Query) int {
+	if q.AggCol == "" {
+		return -1
+	}
+	return o.Rel.Schema.MustCol(q.AggCol)
+}
+
+func execSeqScan(o *Object, q *query.Query) Result {
+	col := colFn(o)
+	sum, rows := sumRange(o, q, 0, len(o.Rel.Rows), col, aggCol(o, q))
+	return Result{
+		Sum:  sum,
+		Rows: rows,
+		IO:   storage.IOStats{Seeks: 1, PagesRead: o.Rel.NumPages()},
+		Plan: PlanSpec{Kind: SeqScan},
+	}
+}
+
+// rowRun is a half-open row-index interval.
+type rowRun struct{ lo, hi int }
+
+// clusteredRuns computes the contiguous row runs a clustered scan must
+// read, refining runs attribute by attribute down the clustered key while
+// predicates allow: equality narrows and descends, IN splits and descends,
+// range narrows and stops (deeper attributes are unordered across distinct
+// range values), a missing predicate stops refinement.
+func clusteredRuns(o *Object, q *query.Query) []rowRun {
+	runs := []rowRun{{0, len(o.Rel.Rows)}}
+	key := o.Rel.ClusterKey
+	for depth := 0; depth < len(key); depth++ {
+		name := o.Rel.Schema.Columns[key[depth]].Name
+		p := q.Predicate(name)
+		if p == nil {
+			break
+		}
+		var next []rowRun
+		descend := true
+		for _, run := range runs {
+			switch p.Op {
+			case query.Eq:
+				lo, hi := narrow(o, run, key[depth], p.Lo, p.Lo)
+				if hi > lo {
+					next = append(next, rowRun{lo, hi})
+				}
+			case query.Range:
+				lo, hi := narrow(o, run, key[depth], p.Lo, p.Hi)
+				if hi > lo {
+					next = append(next, rowRun{lo, hi})
+				}
+				descend = false
+			case query.In:
+				for _, v := range p.Set {
+					lo, hi := narrow(o, run, key[depth], v, v)
+					if hi > lo {
+						next = append(next, rowRun{lo, hi})
+					}
+				}
+			}
+		}
+		runs = next
+		if !descend {
+			break
+		}
+	}
+	return runs
+}
+
+// narrow binary-searches rows [run.lo,run.hi) — within which column c is
+// sorted — for the sub-range with c-values in [loV,hiV].
+func narrow(o *Object, run rowRun, c int, loV, hiV value.V) (int, int) {
+	rows := o.Rel.Rows
+	lo := run.lo + searchRows(rows[run.lo:run.hi], func(r value.Row) bool { return r[c] >= loV })
+	hi := run.lo + searchRows(rows[run.lo:run.hi], func(r value.Row) bool { return r[c] > hiV })
+	return lo, hi
+}
+
+func searchRows(rows []value.Row, f func(value.Row) bool) int {
+	lo, hi := 0, len(rows)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f(rows[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// pageFragments converts touched page intervals (half-open, sorted by lo)
+// into merged sequential fragments, bridging gaps of up to FragmentGap
+// pages (the bridged pages are read through and counted).
+func pageFragments(intervals [][2]int) [][2]int {
+	var out [][2]int
+	for _, iv := range intervals {
+		if n := len(out); n > 0 && iv[0] <= out[n-1][1]+FragmentGap {
+			if iv[1] > out[n-1][1] {
+				out[n-1][1] = iv[1]
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// chargeFragments adds the heap-access I/O for the given page fragments:
+// per fragment, Height random reads (clustered-tree descent, charged as
+// seeks) plus the fragment's pages sequentially.
+func chargeFragments(o *Object, frags [][2]int, io *storage.IOStats) {
+	for _, f := range frags {
+		io.Seeks += o.Height
+		io.PagesRead += f[1] - f[0]
+	}
+}
+
+func execClusteredScan(o *Object, q *query.Query) Result {
+	runs := clusteredRuns(o, q)
+	col := colFn(o)
+	agg := aggCol(o, q)
+	var res Result
+	res.Plan = PlanSpec{Kind: ClusteredScan}
+	intervals := make([][2]int, 0, len(runs))
+	for _, run := range runs {
+		s, n := sumRange(o, q, run.lo, run.hi, col, agg)
+		res.Sum += s
+		res.Rows += n
+		if run.hi > run.lo {
+			intervals = append(intervals, [2]int{o.Rel.PageOfRow(run.lo), o.Rel.PageOfRow(run.hi-1) + 1})
+		}
+	}
+	frags := pageFragments(intervals)
+	res.Fragments, res.TouchedIntervals = len(frags), len(intervals)
+	chargeFragments(o, frags, &res.IO)
+	return res
+}
+
+func execSecondaryScan(o *Object, q *query.Query, idx *SecondaryIndex) Result {
+	lead := o.Rel.Schema.Columns[idx.Cols[0]].Name
+	p := q.Predicate(lead)
+	var res Result
+	res.Plan = PlanSpec{Kind: SecondaryScan}
+	var rids []int32
+	collect := func(lo, hi value.V) {
+		r, io := idx.Tree.RangeRIDs([]value.V{lo}, []value.V{hi})
+		rids = append(rids, r...)
+		res.IO.Add(io)
+	}
+	if p.Op == query.In {
+		for _, v := range p.Set {
+			collect(v, v)
+		}
+	} else {
+		collect(p.Lo, p.Hi)
+	}
+	// Sorted sweep: sort RIDs, derive touched pages, merge into fragments.
+	sortInt32(rids)
+	intervals := make([][2]int, 0, len(rids))
+	for _, rid := range rids {
+		pg := o.Rel.PageOfRow(int(rid))
+		if n := len(intervals); n > 0 && intervals[n-1][1] == pg+1 {
+			continue
+		} else if n > 0 && intervals[n-1][1] > pg {
+			continue
+		}
+		intervals = append(intervals, [2]int{pg, pg + 1})
+	}
+	frags := pageFragments(intervals)
+	res.Fragments, res.TouchedIntervals = len(frags), len(intervals)
+	chargeFragments(o, frags, &res.IO)
+	// Evaluate over the fragment pages (the plan reads whole pages; all
+	// residual predicates are applied there).
+	col := colFn(o)
+	agg := aggCol(o, q)
+	tpp := o.Rel.TuplesPerPage()
+	for _, f := range frags {
+		lo := f[0] * tpp
+		hi := f[1] * tpp
+		if hi > len(o.Rel.Rows) {
+			hi = len(o.Rel.Rows)
+		}
+		s, n := sumRange(o, q, lo, hi, col, agg)
+		res.Sum += s
+		res.Rows += n
+	}
+	return res
+}
+
+func execCMScan(o *Object, q *query.Query, m *cm.CM) Result {
+	preds := make([]*query.Predicate, len(m.KeyCols))
+	for i, c := range m.KeyCols {
+		preds[i] = q.Predicate(o.Rel.Schema.Columns[c].Name)
+	}
+	var res Result
+	res.Plan = PlanSpec{Kind: CMScan}
+	// Read the CM itself: one seek plus its pages.
+	res.IO.Seeks++
+	res.IO.PagesRead += m.Pages()
+	res.IO.IndexPagesRead += m.Pages()
+	ranges := m.PageRanges(m.Buckets(preds))
+	frags := pageFragments(ranges)
+	res.Fragments, res.TouchedIntervals = len(frags), len(ranges)
+	chargeFragments(o, frags, &res.IO)
+	col := colFn(o)
+	agg := aggCol(o, q)
+	tpp := o.Rel.TuplesPerPage()
+	for _, f := range frags {
+		lo := f[0] * tpp
+		hi := f[1] * tpp
+		if hi > len(o.Rel.Rows) {
+			hi = len(o.Rel.Rows)
+		}
+		s, n := sumRange(o, q, lo, hi, col, agg)
+		res.Sum += s
+		res.Rows += n
+	}
+	return res
+}
+
+func sortInt32(a []int32) {
+	// insertion sort for tiny slices, otherwise stdlib via int conversion
+	if len(a) < 32 {
+		for i := 1; i < len(a); i++ {
+			for j := i; j > 0 && a[j] < a[j-1]; j-- {
+				a[j], a[j-1] = a[j-1], a[j]
+			}
+		}
+		return
+	}
+	quickInt32(a)
+}
+
+func quickInt32(a []int32) {
+	if len(a) < 16 {
+		for i := 1; i < len(a); i++ {
+			for j := i; j > 0 && a[j] < a[j-1]; j-- {
+				a[j], a[j-1] = a[j-1], a[j]
+			}
+		}
+		return
+	}
+	pivot := a[len(a)/2]
+	lo, hi := 0, len(a)-1
+	for lo <= hi {
+		for a[lo] < pivot {
+			lo++
+		}
+		for a[hi] > pivot {
+			hi--
+		}
+		if lo <= hi {
+			a[lo], a[hi] = a[hi], a[lo]
+			lo++
+			hi--
+		}
+	}
+	quickInt32(a[:hi+1])
+	quickInt32(a[lo:])
+}

@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"testing"
+
+	"coradd/internal/cm"
+	"coradd/internal/query"
+	"coradd/internal/value"
+)
+
+func TestGroupedMatchesFlat(t *testing.T) {
+	rel := testRelation(20000, []string{"a"}, 31)
+	o := NewObject(rel)
+	o.AddCM(cm.Build(rel, rel.Schema.ColSet("b"), []value.V{1}, 4))
+	q := &query.Query{
+		Name: "g", Fact: "t",
+		Predicates: []query.Predicate{query.NewEq("b", 4)},
+		Targets:    []string{"c"},
+		AggCol:     "d",
+	}
+	for _, spec := range Plans(o, q) {
+		gr, err := ExecuteGrouped(o, q, spec, []string{"c"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat, err := Execute(o, q, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gr.Sum != flat.Sum || gr.Rows != flat.Rows {
+			t.Errorf("%v: grouped totals (%d,%d) != flat (%d,%d)", spec, gr.Sum, gr.Rows, flat.Sum, flat.Rows)
+		}
+		var groupSum int64
+		groupRows := 0
+		for _, cell := range gr.Groups {
+			groupSum += cell.Sum
+			groupRows += cell.Rows
+		}
+		if groupSum != flat.Sum || groupRows != flat.Rows {
+			t.Errorf("%v: group cells total (%d,%d) != flat (%d,%d)", spec, groupSum, groupRows, flat.Sum, flat.Rows)
+		}
+		if gr.IO != flat.IO {
+			t.Errorf("%v: grouped I/O %v != flat %v", spec, gr.IO, flat.IO)
+		}
+	}
+}
+
+func TestGroupedEquivalentAcrossPlans(t *testing.T) {
+	rel := testRelation(20000, []string{"a", "c"}, 32)
+	o := NewObject(rel)
+	o.AddBTree(rel.Schema.ColSet("b"))
+	q := &query.Query{
+		Name: "g", Fact: "t",
+		Predicates: []query.Predicate{query.NewRange("b", 2, 5)},
+		Targets:    []string{"b"},
+		AggCol:     "d",
+	}
+	var ref *GroupedResult
+	for _, spec := range Plans(o, q) {
+		gr, err := ExecuteGrouped(o, q, spec, []string{"b"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = gr
+			continue
+		}
+		if len(gr.Groups) != len(ref.Groups) {
+			t.Fatalf("%v: %d groups, reference %d", spec, len(gr.Groups), len(ref.Groups))
+		}
+		for i := range gr.Groups {
+			if !value.EqualKeys(gr.Groups[i].Key, ref.Groups[i].Key) ||
+				gr.Groups[i].Sum != ref.Groups[i].Sum ||
+				gr.Groups[i].Rows != ref.Groups[i].Rows {
+				t.Fatalf("%v: group %d differs: %+v vs %+v", spec, i, gr.Groups[i], ref.Groups[i])
+			}
+		}
+	}
+}
+
+func TestGroupedMultiKeySorted(t *testing.T) {
+	rel := testRelation(5000, []string{"a"}, 33)
+	o := NewObject(rel)
+	q := &query.Query{Name: "g", Fact: "t", Predicates: []query.Predicate{query.NewRange("a", 0, 30)}, AggCol: "d"}
+	gr, err := ExecuteGrouped(o, q, PlanSpec{Kind: SeqScan}, []string{"b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(gr.Groups); i++ {
+		if value.CompareKeys(gr.Groups[i-1].Key, gr.Groups[i].Key) >= 0 {
+			t.Fatal("groups not sorted by key")
+		}
+	}
+}
+
+func TestGroupedUnknownColumn(t *testing.T) {
+	rel := testRelation(100, []string{"a"}, 34)
+	o := NewObject(rel)
+	q := &query.Query{Name: "g", Fact: "t", Predicates: []query.Predicate{query.NewEq("a", 1)}, AggCol: "d"}
+	if _, err := ExecuteGrouped(o, q, PlanSpec{Kind: SeqScan}, []string{"nosuch"}); err == nil {
+		t.Error("expected unknown-column error")
+	}
+}
+
+func TestGroupedVisitHookRestored(t *testing.T) {
+	rel := testRelation(1000, []string{"a"}, 35)
+	o := NewObject(rel)
+	q := &query.Query{Name: "g", Fact: "t", Predicates: []query.Predicate{query.NewEq("a", 1)}, AggCol: "d"}
+	if _, err := ExecuteGrouped(o, q, PlanSpec{Kind: SeqScan}, []string{"b"}); err != nil {
+		t.Fatal(err)
+	}
+	if o.visit != nil {
+		t.Error("visit hook leaked after grouped execution")
+	}
+}

@@ -1,0 +1,157 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (plus the in-text ablations) on the simulated substrate. Each experiment
+// returns both typed series (consumed by tests and benchmarks) and a
+// printable table whose rows mirror what the paper plots. EXPERIMENTS.md
+// records the paper-vs-measured comparison for each.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"coradd/internal/candgen"
+	"coradd/internal/designer"
+	"coradd/internal/feedback"
+	"coradd/internal/query"
+	"coradd/internal/ssb"
+	"coradd/internal/stats"
+	"coradd/internal/storage"
+)
+
+// Scale sets experiment sizes. Quick is used by tests and benches; Full by
+// cmd/experiments -full.
+type Scale struct {
+	// SSBRows / APBRows are fact-table sizes.
+	SSBRows, APBRows int
+	// Sample is the statistics synopsis size.
+	Sample int
+	// BudgetMults are space budgets as multiples of the fact heap size
+	// (the paper sweeps 0–22 GB against a 2.5 GB heap).
+	BudgetMults []float64
+	// Cand configures candidate generation.
+	Cand candgen.Config
+	// FB configures ILP feedback.
+	FB feedback.Config
+	// Seed drives all data generation.
+	Seed int64
+}
+
+// QuickScale is small enough for the test suite.
+func QuickScale() Scale {
+	cand := candgen.DefaultConfig()
+	cand.Alphas = []float64{0, 0.25}
+	cand.Restarts = 2
+	cand.MaxInterleavings = 16
+	return Scale{
+		SSBRows:     60_000,
+		APBRows:     50_000,
+		Sample:      1024,
+		BudgetMults: []float64{0.5, 1, 2, 4, 6},
+		Cand:        cand,
+		FB:          feedback.Config{MaxIters: 1},
+		Seed:        42,
+	}
+}
+
+// FullScale mirrors the paper's sweeps more closely.
+func FullScale() Scale {
+	s := QuickScale()
+	s.SSBRows = 200_000
+	s.APBRows = 150_000
+	s.Sample = 4096
+	s.BudgetMults = []float64{0.25, 0.5, 1, 2, 3, 4, 6, 8, 10}
+	s.Cand = candgen.DefaultConfig()
+	s.FB = feedback.Config{MaxIters: 3}
+	return s
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string // e.g. "Figure 9"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Print renders the table to w.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Env bundles a generated dataset with its statistics and designer inputs.
+type Env struct {
+	Rel    *storage.Relation
+	St     *stats.Stats
+	W      query.Workload
+	Common designer.Common
+	Scale  Scale
+}
+
+// Budgets converts the scale's multipliers into byte budgets for the
+// environment's fact heap.
+func (e *Env) Budgets() []int64 {
+	out := make([]int64, len(e.Scale.BudgetMults))
+	for i, m := range e.Scale.BudgetMults {
+		out[i] = int64(m * float64(e.Rel.HeapBytes()))
+	}
+	return out
+}
+
+// NewSSBEnv generates the SSB environment; augmented selects the 52-query
+// workload.
+func NewSSBEnv(s Scale, augmented bool) *Env {
+	rel := ssb.Generate(ssb.Config{
+		Rows:      s.SSBRows,
+		Customers: maxInt(1000, s.SSBRows/30),
+		Suppliers: maxInt(200, s.SSBRows/400),
+		Parts:     maxInt(1000, s.SSBRows/40),
+		Seed:      s.Seed,
+	})
+	st := stats.New(rel, s.Sample, s.Seed+1)
+	w := ssb.Queries()
+	if augmented {
+		w = ssb.AugmentedQueries()
+	}
+	return &Env{
+		Rel: rel, St: st, W: w, Scale: s,
+		Common: designer.Common{
+			St: st, W: w, Disk: storage.DefaultDiskParams(),
+			PKCols: ssb.PKCols(rel.Schema), BaseKey: rel.ClusterKey,
+		},
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// newCoradd builds a CORADD designer over the environment; fbIters == -1
+// disables feedback (plain ILP).
+func newCoradd(env *Env, fbIters int) *designer.CORADD {
+	fb := env.Scale.FB
+	fb.MaxIters = fbIters
+	return designer.NewCORADD(env.Common, env.Scale.Cand, fb)
+}
+
+func baseTimes(d *designer.CORADD) []float64 { return d.BaseTimes() }
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func gb(b int64) string   { return fmt.Sprintf("%.2f", float64(b)/(1<<30)) }
+func mb(b int64) string   { return fmt.Sprintf("%.1f", float64(b)/(1<<20)) }

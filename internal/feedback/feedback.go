@@ -1,0 +1,205 @@
+// Package feedback implements ILP Feedback (§6), the column-generation-
+// inspired loop that grows the candidate pool from the previous ILP
+// solution instead of enumerating the exponential design space up front:
+//
+//   - expand the query group of every chosen MV by each missing query
+//     (helps tight budgets, where one shared MV should cover more queries);
+//   - shrink the group of a chosen MV that is not actually serving some of
+//     its queries (frees space);
+//   - re-cluster chosen MVs with a doubled t (helps large budgets, where a
+//     better clustered key is the remaining win);
+//
+// then re-solve, iterating until no new candidates appear or the iteration
+// limit is reached.
+package feedback
+
+import (
+	"sort"
+
+	"coradd/internal/candgen"
+	"coradd/internal/costmodel"
+	"coradd/internal/ilp"
+)
+
+// Config tunes the loop.
+type Config struct {
+	// MaxIters caps feedback iterations; 0 means 4. (The paper's SSB run
+	// converged in 2.)
+	MaxIters int
+	// TGrowth multiplies t on each re-clustering feedback; 0 means 2.
+	TGrowth int
+	// Solve tunes the inner exact solver.
+	Solve ilp.SolveOptions
+}
+
+// Result is the outcome of Run.
+type Result struct {
+	// Sol is the final ILP solution over Designs.
+	Sol *ilp.Solution
+	// Prob is the final (pruned) problem; Sol.Chosen indexes Prob.Cands.
+	Prob *ilp.Problem
+	// Designs are the final candidate designs, aligned with Prob.Cands.
+	Designs []*costmodel.MVDesign
+	// Iters is the number of feedback iterations performed (0 means the
+	// initial solve was final).
+	Iters int
+	// Added is the number of candidates feedback contributed.
+	Added int
+}
+
+// BuildProblem prices every design against every query with the model in g
+// and assembles the ILP instance. Dominated candidates are pruned (§5.3);
+// the returned design slice is aligned with the problem's candidates.
+func BuildProblem(g *candgen.Generator, designs []*costmodel.MVDesign, base []float64, budget int64) (*ilp.Problem, []*costmodel.MVDesign) {
+	cands := make([]ilp.Candidate, len(designs))
+	weights := make([]float64, len(g.W))
+	for qi, q := range g.W {
+		weights[qi] = q.EffectiveWeight()
+	}
+	for i, d := range designs {
+		times := make([]float64, len(g.W))
+		for qi, q := range g.W {
+			c, _ := g.Model.Estimate(d, q)
+			times[qi] = c
+		}
+		fg := 0
+		if d.FactRecluster {
+			fg = d.FactGroup + 1 // shift: ILP group ids are positive
+		}
+		cands[i] = ilp.Candidate{
+			Name:      d.Name,
+			Size:      d.Bytes(g.St),
+			Times:     times,
+			FactGroup: fg,
+			Ref:       d,
+		}
+	}
+	kept, origIdx := ilp.PruneDominated(cands)
+	keptDesigns := make([]*costmodel.MVDesign, len(kept))
+	for i, oi := range origIdx {
+		keptDesigns[i] = designs[oi]
+	}
+	prob := &ilp.Problem{Cands: kept, Base: base, Weights: weights, Budget: budget}
+	return prob, keptDesigns
+}
+
+// Run solves the ILP over the initial designs, then iterates feedback.
+func Run(g *candgen.Generator, designs []*costmodel.MVDesign, base []float64, budget int64, cfg Config) *Result {
+	maxIters := cfg.MaxIters
+	if maxIters <= 0 {
+		maxIters = 4
+	}
+	growth := cfg.TGrowth
+	if growth <= 0 {
+		growth = 2
+	}
+
+	pool := append([]*costmodel.MVDesign(nil), designs...)
+	seen := make(map[string]bool, len(pool))
+	for _, d := range pool {
+		seen[d.Key()] = true
+	}
+	// groupT tracks the t already spent per query group so re-clustering
+	// feedback escalates rather than repeats.
+	groupT := make(map[string]int)
+
+	prob, aligned := BuildProblem(g, pool, base, budget)
+	sol := ilp.Solve(prob, cfg.Solve)
+	res := &Result{Sol: sol, Prob: prob, Designs: aligned}
+
+	for iter := 1; iter <= maxIters; iter++ {
+		added := 0
+		for _, d := range newCandidates(g, res, budget, groupT, growth) {
+			if seen[d.Key()] {
+				continue
+			}
+			seen[d.Key()] = true
+			pool = append(pool, d)
+			added++
+		}
+		if added == 0 {
+			break
+		}
+		res.Added += added
+		res.Iters = iter
+		prob, aligned = BuildProblem(g, pool, base, budget)
+		sol = ilp.Solve(prob, cfg.Solve)
+		res.Sol, res.Prob, res.Designs = sol, prob, aligned
+	}
+	return res
+}
+
+// newCandidates derives feedback candidates from the current solution.
+func newCandidates(g *candgen.Generator, res *Result, budget int64, groupT map[string]int, growth int) []*costmodel.MVDesign {
+	var out []*costmodel.MVDesign
+	for _, ci := range res.Sol.Chosen {
+		d := res.Designs[ci]
+		if d.FactRecluster || len(d.Queries) == 0 {
+			continue
+		}
+		gkey := groupKey(d.Queries)
+		t := groupT[gkey]
+		if t == 0 {
+			t = g.Cfg.T
+		}
+
+		// Expansion: add each query outside the group (§6.1, first source).
+		inGroup := make(map[int]bool, len(d.Queries))
+		for _, qi := range d.Queries {
+			inGroup[qi] = true
+		}
+		for qi := range g.W {
+			if inGroup[qi] {
+				continue
+			}
+			grp := append(append([]int(nil), d.Queries...), qi)
+			sort.Ints(grp)
+			for _, nd := range g.GroupDesigns(grp, g.Cfg.T) {
+				if nd.Bytes(g.St) <= budget {
+					out = append(out, nd)
+				}
+			}
+		}
+
+		// Shrinking: drop group members the solution serves elsewhere.
+		served := servedQueries(res, ci)
+		if len(served) > 0 && len(served) < len(d.Queries) {
+			for _, nd := range g.GroupDesigns(served, g.Cfg.T) {
+				if nd.Bytes(g.St) <= budget {
+					out = append(out, nd)
+				}
+			}
+		}
+
+		// Re-clustering with increased t (§6.1, second source).
+		newT := t * growth
+		groupT[gkey] = newT
+		for _, nd := range g.GroupDesigns(d.Queries, newT) {
+			if nd.Bytes(g.St) <= budget {
+				out = append(out, nd)
+			}
+		}
+	}
+	return out
+}
+
+// servedQueries lists the group members of candidate ci that the solution
+// actually routes to ci.
+func servedQueries(res *Result, ci int) []int {
+	d := res.Designs[ci]
+	var out []int
+	for _, qi := range d.Queries {
+		if qi < len(res.Sol.PerQuery) && res.Sol.PerQuery[qi] == ci {
+			out = append(out, qi)
+		}
+	}
+	return out
+}
+
+func groupKey(group []int) string {
+	b := make([]byte, 0, len(group)*2)
+	for _, qi := range group {
+		b = append(b, byte(qi), byte(qi>>8))
+	}
+	return string(b)
+}

@@ -1,0 +1,155 @@
+package feedback
+
+import (
+	"math/rand"
+	"testing"
+
+	"coradd/internal/candgen"
+	"coradd/internal/costmodel"
+	"coradd/internal/ilp"
+	"coradd/internal/query"
+	"coradd/internal/schema"
+	"coradd/internal/stats"
+	"coradd/internal/storage"
+	"coradd/internal/value"
+)
+
+func fbEnv(t testing.TB) (*candgen.Generator, []float64) {
+	t.Helper()
+	s := schema.New(
+		schema.Column{Name: "a", ByteSize: 4},
+		schema.Column{Name: "b", ByteSize: 4},
+		schema.Column{Name: "c", ByteSize: 4},
+		schema.Column{Name: "d", ByteSize: 8},
+		schema.Column{Name: "pk", ByteSize: 4},
+	)
+	rng := rand.New(rand.NewSource(21))
+	rows := make([]value.Row, 30000)
+	for i := range rows {
+		a := value.V(rng.Intn(100))
+		rows[i] = value.Row{a, a / 10, value.V(rng.Intn(60)), value.V(rng.Intn(100)), value.V(i)}
+	}
+	rel := storage.NewRelation("t", s, s.ColSet("pk"), rows)
+	st := stats.New(rel, 1024, 22)
+	w := query.Workload{
+		{Name: "q1", Fact: "t", Predicates: []query.Predicate{query.NewEq("a", 5)}, AggCol: "d"},
+		{Name: "q2", Fact: "t", Predicates: []query.Predicate{query.NewEq("b", 3), query.NewRange("c", 0, 9)}, AggCol: "d"},
+		{Name: "q3", Fact: "t", Predicates: []query.Predicate{query.NewEq("c", 30)}, AggCol: "d"},
+	}
+	model := costmodel.NewAware(st, storage.DefaultDiskParams())
+	cfg := candgen.DefaultConfig()
+	cfg.Alphas = []float64{0}
+	cfg.Restarts = 1
+	g := candgen.New(st, model, w, cfg)
+	g.PKCols = s.ColSet("pk")
+	base := make([]float64, len(w))
+	baseDesign := &costmodel.MVDesign{Cols: []int{0, 1, 2, 3, 4}, ClusterKey: s.ColSet("pk")}
+	for qi, q := range w {
+		base[qi], _ = model.Estimate(baseDesign, q)
+	}
+	return g, base
+}
+
+func TestBuildProblemAlignsDesigns(t *testing.T) {
+	g, base := fbEnv(t)
+	designs := g.Generate()
+	prob, aligned := BuildProblem(g, designs, base, 1<<30)
+	if len(prob.Cands) != len(aligned) {
+		t.Fatalf("misaligned: %d cands vs %d designs", len(prob.Cands), len(aligned))
+	}
+	if len(prob.Cands) > len(designs) {
+		t.Error("pruning added candidates")
+	}
+	for i, c := range prob.Cands {
+		if c.Ref.(*costmodel.MVDesign) != aligned[i] {
+			t.Fatalf("candidate %d Ref mismatch", i)
+		}
+		if c.Size != aligned[i].Bytes(g.St) {
+			t.Errorf("candidate %d size mismatch", i)
+		}
+	}
+}
+
+func TestBuildProblemPrunesDominated(t *testing.T) {
+	g, base := fbEnv(t)
+	designs := g.Generate()
+	// Duplicate a design with an extra useless column: strictly larger,
+	// same-or-worse times → must be pruned.
+	victim := designs[0]
+	bloated := &costmodel.MVDesign{
+		Name:       "bloated",
+		Cols:       append([]int(nil), victim.Cols...),
+		ClusterKey: victim.ClusterKey,
+		Queries:    victim.Queries,
+	}
+	for c := 0; c < 5; c++ {
+		if !bloated.HasCol(c) {
+			bloated.Cols = append(bloated.Cols, c)
+		}
+	}
+	// (Cols must stay sorted for HasCol.)
+	sortInts(bloated.Cols)
+	prob, aligned := BuildProblem(g, append(designs, bloated), base, 1<<30)
+	for i := range aligned {
+		if aligned[i] == bloated {
+			// It may survive if it covers extra queries; verify it at least
+			// did not displace the original.
+			t.Logf("bloated design survived pruning (covers more queries)")
+		}
+	}
+	if len(prob.Cands) > len(designs)+1 {
+		t.Error("problem grew unexpectedly")
+	}
+}
+
+func TestFeedbackNeverWorsens(t *testing.T) {
+	g, base := fbEnv(t)
+	designs := g.Generate()
+	prob, _ := BuildProblem(g, designs, base, 1<<23)
+	plain := ilp.Solve(prob, ilp.SolveOptions{})
+	res := Run(g, designs, base, 1<<23, Config{MaxIters: 2})
+	if res.Sol.Objective > plain.Objective+1e-9 {
+		t.Errorf("feedback %.6f worse than plain ILP %.6f", res.Sol.Objective, plain.Objective)
+	}
+}
+
+func TestFeedbackConverges(t *testing.T) {
+	g, base := fbEnv(t)
+	designs := g.Generate()
+	res := Run(g, designs, base, 1<<23, Config{MaxIters: 10})
+	if res.Iters >= 10 {
+		t.Errorf("feedback did not converge within 10 iterations (ran %d)", res.Iters)
+	}
+}
+
+func TestFeedbackRespectsBudget(t *testing.T) {
+	g, base := fbEnv(t)
+	designs := g.Generate()
+	for _, budget := range []int64{1 << 21, 1 << 23, 1 << 26} {
+		res := Run(g, designs, base, budget, Config{MaxIters: 2})
+		if res.Sol.Size > budget {
+			t.Errorf("budget %d: design size %d over budget", budget, res.Sol.Size)
+		}
+	}
+}
+
+func TestFeedbackAddsCandidates(t *testing.T) {
+	g, base := fbEnv(t)
+	// Seed with only single-query designs so expansion has room to work.
+	var seedDesigns []*costmodel.MVDesign
+	for qi := range g.W {
+		seedDesigns = append(seedDesigns, g.GroupDesigns([]int{qi}, 1)...)
+	}
+	res := Run(g, seedDesigns, base, 1<<26, Config{MaxIters: 3})
+	if res.Added == 0 {
+		t.Error("feedback added no candidates from a dedicated-only pool")
+	}
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package ilp
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Solution is the outcome of Solve or Greedy.
+type Solution struct {
+	// Chosen are indexes into Problem.Cands.
+	Chosen []int
+	// Objective is the total expected workload runtime of the design.
+	Objective float64
+	// Size is the total space used.
+	Size int64
+	// Proven reports whether optimality was proven (false when the node or
+	// time limit cut the search short).
+	Proven bool
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+	// PerQuery[q] is the index of the chosen candidate serving q, or -1
+	// when q runs on the base design.
+	PerQuery []int
+}
+
+// SolveOptions tunes the exact solver.
+type SolveOptions struct {
+	// MaxNodes caps search nodes; 0 means 5,000,000.
+	MaxNodes int
+	// TimeLimit caps wall time; 0 means none.
+	TimeLimit time.Duration
+}
+
+// Solve finds the optimal candidate subset by depth-first branch-and-bound.
+//
+// Ordering: candidates are considered in decreasing benefit density
+// (workload-runtime saved per byte), so good incumbents appear early.
+// Bound: at a node, the optimistic objective lets every query use the best
+// of {already chosen} ∪ {undecided candidates that individually fit the
+// remaining budget}. That relaxes both the budget (only per-candidate
+// feasibility) and the fact-group rule, so it never exceeds the true
+// optimum below the node — an admissible bound.
+func Solve(p *Problem, opts SolveOptions) *Solution {
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 5_000_000
+	}
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = time.Now().Add(opts.TimeLimit)
+	}
+	order := orderByDensity(p)
+	nQ := p.numQueries()
+
+	// Incumbent from greedy.
+	inc := Greedy(p, 2, len(p.Cands))
+	bestObj := inc.Objective
+	bestChosen := append([]int(nil), inc.Chosen...)
+
+	// bestTimes[q]: current best time for q from chosen candidates.
+	bestTimes := make([]float64, nQ)
+	copy(bestTimes, p.Base)
+
+	// For the bound: per query, candidate indexes sorted by time ascending.
+	perQ := sortedPerQuery(p)
+
+	s := &solver{
+		p: p, order: order, perQ: perQ,
+		maxNodes: maxNodes, deadline: deadline,
+		bestObj: bestObj, bestChosen: bestChosen,
+		proven: true,
+	}
+	s.decided = make([]int8, len(p.Cands))
+	factUsed := map[int]bool{}
+	s.dfs(0, 0, bestTimes, nil, factUsed)
+
+	sol := &Solution{
+		Chosen:    s.bestChosen,
+		Objective: s.bestObj,
+		Size:      p.SizeOf(s.bestChosen),
+		Proven:    s.proven,
+		Nodes:     s.nodes,
+	}
+	sol.PerQuery = perQueryRouting(p, sol.Chosen)
+	return sol
+}
+
+type solver struct {
+	p        *Problem
+	order    []int
+	perQ     [][]int
+	decided  []int8 // 0 undecided, 1 included, 2 excluded
+	maxNodes int
+	deadline time.Time
+
+	nodes      int
+	bestObj    float64
+	bestChosen []int
+	proven     bool
+}
+
+// dfs explores decisions for order[pos:]. bestTimes reflects included
+// candidates; usedSize their total size; chosen their indexes.
+func (s *solver) dfs(pos int, usedSize int64, bestTimes []float64, chosen []int, factUsed map[int]bool) {
+	s.nodes++
+	if s.nodes > s.maxNodes || (!s.deadline.IsZero() && s.nodes%1024 == 0 && time.Now().After(s.deadline)) {
+		s.proven = false
+		return
+	}
+	// Current objective with only the chosen set.
+	cur := 0.0
+	for q, t := range bestTimes {
+		cur += s.p.weight(q) * t
+	}
+	if cur < s.bestObj-1e-12 {
+		s.bestObj = cur
+		s.bestChosen = append([]int(nil), chosen...)
+	}
+	if pos >= len(s.order) {
+		return
+	}
+	// Admissible bound.
+	if s.bound(bestTimes, usedSize) >= s.bestObj-1e-12 {
+		return
+	}
+	m := s.order[pos]
+	cand := &s.p.Cands[m]
+	fits := usedSize+cand.Size <= s.p.Budget
+	factOK := cand.FactGroup <= 0 || !factUsed[cand.FactGroup]
+
+	if fits && factOK {
+		// Include m.
+		s.decided[m] = 1
+		newTimes := make([]float64, len(bestTimes))
+		improved := false
+		for q := range bestTimes {
+			t := cand.Times[q]
+			if t < bestTimes[q] {
+				newTimes[q] = t
+				improved = true
+			} else {
+				newTimes[q] = bestTimes[q]
+			}
+		}
+		if improved {
+			if cand.FactGroup > 0 {
+				factUsed[cand.FactGroup] = true
+			}
+			s.dfs(pos+1, usedSize+cand.Size, newTimes, append(chosen, m), factUsed)
+			if cand.FactGroup > 0 {
+				delete(factUsed, cand.FactGroup)
+			}
+		}
+		s.decided[m] = 0
+	}
+	// Exclude m.
+	s.decided[m] = 2
+	s.dfs(pos+1, usedSize, bestTimes, chosen, factUsed)
+	s.decided[m] = 0
+}
+
+// bound computes the optimistic objective at a node.
+func (s *solver) bound(bestTimes []float64, usedSize int64) float64 {
+	remaining := s.p.Budget - usedSize
+	total := 0.0
+	for q, cur := range bestTimes {
+		best := cur
+		for _, m := range s.perQ[q] {
+			t := s.p.Cands[m].Times[q]
+			if t >= best {
+				break // sorted ascending; nothing better follows
+			}
+			if s.decided[m] == 2 || s.p.Cands[m].Size > remaining {
+				continue
+			}
+			best = t
+			break
+		}
+		total += s.p.weight(q) * best
+	}
+	return total
+}
+
+// orderByDensity sorts candidate indexes by benefit density descending.
+func orderByDensity(p *Problem) []int {
+	type scored struct {
+		idx     int
+		density float64
+	}
+	sc := make([]scored, len(p.Cands))
+	for m := range p.Cands {
+		benefit := 0.0
+		for q := 0; q < p.numQueries(); q++ {
+			if t := p.Cands[m].Times[q]; t < p.Base[q] {
+				benefit += p.weight(q) * (p.Base[q] - t)
+			}
+		}
+		size := float64(p.Cands[m].Size)
+		if size < 1 {
+			size = 1
+		}
+		sc[m] = scored{m, benefit / size}
+	}
+	sort.SliceStable(sc, func(i, j int) bool { return sc[i].density > sc[j].density })
+	out := make([]int, len(sc))
+	for i, s := range sc {
+		out[i] = s.idx
+	}
+	return out
+}
+
+// sortedPerQuery builds, per query, candidate indexes sorted by that
+// query's runtime ascending, excluding infeasible pairs — the paper's
+// p_{q,r} ordering.
+func sortedPerQuery(p *Problem) [][]int {
+	nQ := p.numQueries()
+	out := make([][]int, nQ)
+	for q := 0; q < nQ; q++ {
+		var idx []int
+		for m := range p.Cands {
+			if !math.IsInf(p.Cands[m].Times[q], 1) {
+				idx = append(idx, m)
+			}
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			return p.Cands[idx[a]].Times[q] < p.Cands[idx[b]].Times[q]
+		})
+		out[q] = idx
+	}
+	return out
+}
+
+// perQueryRouting maps each query to the chosen candidate serving it.
+func perQueryRouting(p *Problem, chosen []int) []int {
+	nQ := p.numQueries()
+	out := make([]int, nQ)
+	for q := 0; q < nQ; q++ {
+		out[q] = -1
+		best := p.Base[q]
+		for _, m := range chosen {
+			if t := p.Cands[m].Times[q]; t < best {
+				best = t
+				out[q] = m
+			}
+		}
+	}
+	return out
+}
+
+// Greedy implements Greedy(m,k) (Chaudhuri & Narasayya, VLDB 1997; §5.2):
+// exhaustively pick the best feasible seed set of at most seedM candidates,
+// then greedily add the candidate with the largest runtime improvement
+// until the budget is exhausted or k candidates are chosen.
+func Greedy(p *Problem, seedM, k int) *Solution {
+	if k <= 0 {
+		k = len(p.Cands)
+	}
+	bestSeed := []int{}
+	bestObj := p.Objective(nil)
+	// Exhaustive seeds of size 1..seedM (the paper recommends m=2).
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) > 0 {
+			if p.Feasible(cur) {
+				if obj := p.Objective(cur); obj < bestObj-1e-12 {
+					bestObj = obj
+					bestSeed = append([]int(nil), cur...)
+				}
+			} else {
+				return
+			}
+		}
+		if len(cur) == seedM {
+			return
+		}
+		for m := start; m < len(p.Cands); m++ {
+			rec(m+1, append(cur, m))
+		}
+	}
+	rec(0, nil)
+
+	chosen := append([]int(nil), bestSeed...)
+	obj := p.Objective(chosen)
+	for len(chosen) < k {
+		bestM, bestNew := -1, obj
+		for m := range p.Cands {
+			if contains(chosen, m) {
+				continue
+			}
+			trial := append(append([]int(nil), chosen...), m)
+			if !p.Feasible(trial) {
+				continue
+			}
+			if o := p.Objective(trial); o < bestNew-1e-12 {
+				bestNew = o
+				bestM = m
+			}
+		}
+		if bestM < 0 {
+			break
+		}
+		chosen = append(chosen, bestM)
+		obj = bestNew
+	}
+	sol := &Solution{Chosen: chosen, Objective: obj, Size: p.SizeOf(chosen), Proven: false}
+	sol.PerQuery = perQueryRouting(p, chosen)
+	return sol
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,169 @@
+// Package ilp implements the paper's candidate-selection formulation (§5):
+// choose a subset of candidate objects (MVs and fact-table re-clusterings)
+// within a space budget, minimizing total expected workload runtime, with
+// at most one re-clustering per fact table. It provides
+//
+//   - dominance pruning (§5.3),
+//   - an exact branch-and-bound solver matching the paper's "optimal, no
+//     relaxation" ILP,
+//   - the Greedy(m,k) heuristic of Chaudhuri & Narasayya used by the
+//     commercial baseline (§5.2), and
+//   - the relaxation-based formulation of Papadomanolakis & Ailamaki for
+//     the §5.4 ablation, solved through package lp.
+//
+// The paper's penalty variables x_{q,r} (Table 3) encode, for a fixed
+// choice of y, exactly "each query runs on its fastest chosen object"; the
+// solver works directly with that induced objective
+//
+//	obj(S) = Σ_q w_q · min( base_q, min_{m∈S, feasible} t_{q,m} )
+//
+// which is the ILP's value at integer points, so the optimum found here is
+// the optimum of the paper's ILP.
+package ilp
+
+import (
+	"math"
+)
+
+// Infeasible marks a (query, candidate) pair the candidate cannot serve.
+var Infeasible = math.Inf(1)
+
+// Candidate is one selectable object.
+type Candidate struct {
+	// Name labels the candidate in solutions.
+	Name string
+	// Size is the space charge in bytes.
+	Size int64
+	// Times[q] is the expected runtime of query q on this candidate, or
+	// Infeasible.
+	Times []float64
+	// FactGroup groups mutually exclusive fact-table re-clusterings
+	// (condition 4 of §5.1): at most one candidate per positive group id
+	// may be chosen. Zero (the zero value) and negative ids mean the
+	// candidate is an ordinary MV with no exclusion.
+	FactGroup int
+	// Ref lets callers attach their own descriptor (e.g. *costmodel.MVDesign).
+	Ref any
+}
+
+// Problem is one selection instance.
+type Problem struct {
+	Cands []Candidate
+	// Base[q] is query q's runtime when no candidate serves it (the
+	// existing fact-table design, always available at zero space cost).
+	Base []float64
+	// Weights are query frequencies; nil means all 1 (§5.3).
+	Weights []float64
+	// Budget is the space budget in bytes.
+	Budget int64
+}
+
+func (p *Problem) weight(q int) float64 {
+	if p.Weights == nil {
+		return 1
+	}
+	return p.Weights[q]
+}
+
+// numQueries returns |Q|.
+func (p *Problem) numQueries() int { return len(p.Base) }
+
+// Objective evaluates obj(S) for the chosen candidate indexes.
+func (p *Problem) Objective(chosen []int) float64 {
+	total := 0.0
+	for q := 0; q < p.numQueries(); q++ {
+		best := p.Base[q]
+		for _, m := range chosen {
+			if t := p.Cands[m].Times[q]; t < best {
+				best = t
+			}
+		}
+		total += p.weight(q) * best
+	}
+	return total
+}
+
+// SizeOf sums the sizes of the chosen candidates.
+func (p *Problem) SizeOf(chosen []int) int64 {
+	var s int64
+	for _, m := range chosen {
+		s += p.Cands[m].Size
+	}
+	return s
+}
+
+// Feasible reports whether chosen fits the budget and fact-group rules.
+func (p *Problem) Feasible(chosen []int) bool {
+	if p.SizeOf(chosen) > p.Budget {
+		return false
+	}
+	seen := map[int]bool{}
+	for _, m := range chosen {
+		g := p.Cands[m].FactGroup
+		if g <= 0 {
+			continue
+		}
+		if seen[g] {
+			return false
+		}
+		seen[g] = true
+	}
+	return true
+}
+
+// PruneDominated removes dominated candidates (§5.3): m is dominated by m'
+// when size(m') ≤ size(m) and, for every query m can serve, m' serves it at
+// least as fast. Returns the surviving candidates and their original
+// indexes. Fact-group candidates are only compared within their group so
+// the at-most-one constraint stays meaningful.
+func PruneDominated(cands []Candidate) (kept []Candidate, origIdx []int) {
+	n := len(cands)
+	dominated := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if dominated[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if i == j || dominated[j] || dominated[i] {
+				continue
+			}
+			if cands[i].FactGroup != cands[j].FactGroup {
+				continue
+			}
+			if dominates(&cands[j], &cands[i]) {
+				dominated[i] = true
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !dominated[i] {
+			kept = append(kept, cands[i])
+			origIdx = append(origIdx, i)
+		}
+	}
+	return kept, origIdx
+}
+
+// dominates reports whether a dominates b: a is no larger, serves every
+// query b serves, at least as fast, and is strictly better on size or some
+// query (so identical twins don't eliminate each other both ways).
+func dominates(a, b *Candidate) bool {
+	if a.Size > b.Size {
+		return false
+	}
+	strict := a.Size < b.Size
+	for q := range b.Times {
+		bt := b.Times[q]
+		if math.IsInf(bt, 1) {
+			continue
+		}
+		at := a.Times[q]
+		if at > bt {
+			return false
+		}
+		if at < bt {
+			strict = true
+		}
+	}
+	return strict
+}

@@ -1,0 +1,175 @@
+// Package kmeans implements Lloyd's k-means with k-means++ seeding, the
+// query-grouping engine of the MV Candidate Generator (§4.1.2). Vectors are
+// the (extended) selectivity vectors of workload queries; the distance is
+// plain Euclidean, as in the paper.
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MaxIterations bounds Lloyd iterations per run.
+const MaxIterations = 100
+
+// Distance is the Euclidean distance between two vectors of equal length.
+func Distance(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Result is a clustering: Assign[i] is the cluster of vector i, Centers the
+// final means, Cost the total squared distance.
+type Result struct {
+	Assign  []int
+	Centers [][]float64
+	Cost    float64
+}
+
+// Groups converts the assignment into per-cluster index lists, dropping
+// empty clusters.
+func (r *Result) Groups() [][]int {
+	byCluster := make(map[int][]int)
+	order := []int{}
+	for i, c := range r.Assign {
+		if _, ok := byCluster[c]; !ok {
+			order = append(order, c)
+		}
+		byCluster[c] = append(byCluster[c], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, c := range order {
+		out = append(out, byCluster[c])
+	}
+	return out
+}
+
+// Run clusters vectors into k groups using k-means++ initialization
+// (Arthur & Vassilvitskii, SODA 2007) followed by Lloyd's iterations. The
+// rng makes runs deterministic; restarts picks the best of that many
+// independent runs.
+func Run(vectors [][]float64, k int, rng *rand.Rand, restarts int) Result {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(vectors) {
+		k = len(vectors)
+	}
+	if restarts < 1 {
+		restarts = 1
+	}
+	best := Result{Cost: math.Inf(1)}
+	for r := 0; r < restarts; r++ {
+		res := runOnce(vectors, k, rng)
+		if res.Cost < best.Cost {
+			best = res
+		}
+	}
+	return best
+}
+
+func runOnce(vectors [][]float64, k int, rng *rand.Rand) Result {
+	centers := seedPlusPlus(vectors, k, rng)
+	assign := make([]int, len(vectors))
+	for iter := 0; iter < MaxIterations; iter++ {
+		changed := false
+		for i, v := range vectors {
+			bestC, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := Distance(v, ctr); d < bestD {
+					bestC, bestD = c, d
+				}
+			}
+			if assign[i] != bestC {
+				assign[i] = bestC
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		recomputeCenters(vectors, assign, centers, rng)
+	}
+	cost := 0.0
+	for i, v := range vectors {
+		d := Distance(v, centers[assign[i]])
+		cost += d * d
+	}
+	return Result{Assign: assign, Centers: centers, Cost: cost}
+}
+
+// seedPlusPlus picks k initial centers: the first uniformly, each next with
+// probability proportional to squared distance from the nearest chosen
+// center.
+func seedPlusPlus(vectors [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centers := make([][]float64, 0, k)
+	first := vectors[rng.Intn(len(vectors))]
+	centers = append(centers, clone(first))
+	d2 := make([]float64, len(vectors))
+	for len(centers) < k {
+		total := 0.0
+		last := centers[len(centers)-1]
+		for i, v := range vectors {
+			d := Distance(v, last)
+			dd := d * d
+			if len(centers) == 1 || dd < d2[i] {
+				d2[i] = dd
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with chosen centers; duplicate.
+			centers = append(centers, clone(vectors[rng.Intn(len(vectors))]))
+			continue
+		}
+		target := rng.Float64() * total
+		acc := 0.0
+		pick := len(vectors) - 1
+		for i := range vectors {
+			acc += d2[i]
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, clone(vectors[pick]))
+	}
+	return centers
+}
+
+func recomputeCenters(vectors [][]float64, assign []int, centers [][]float64, rng *rand.Rand) {
+	dim := len(vectors[0])
+	counts := make([]int, len(centers))
+	for c := range centers {
+		for j := 0; j < dim; j++ {
+			centers[c][j] = 0
+		}
+	}
+	for i, v := range vectors {
+		c := assign[i]
+		counts[c]++
+		for j, x := range v {
+			centers[c][j] += x
+		}
+	}
+	for c := range centers {
+		if counts[c] == 0 {
+			// Re-seed an empty cluster on a random point.
+			copy(centers[c], vectors[rng.Intn(len(vectors))])
+			continue
+		}
+		for j := range centers[c] {
+			centers[c][j] /= float64(counts[c])
+		}
+	}
+}
+
+func clone(v []float64) []float64 {
+	c := make([]float64, len(v))
+	copy(c, v)
+	return c
+}

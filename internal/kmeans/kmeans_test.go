@@ -1,0 +1,123 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// blobs generates k well-separated Gaussian-ish clusters.
+func blobs(k, perCluster, dim int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var vecs [][]float64
+	var labels []int
+	for c := 0; c < k; c++ {
+		center := make([]float64, dim)
+		for j := range center {
+			center[j] = float64(c*20) + rng.Float64()
+		}
+		for i := 0; i < perCluster; i++ {
+			v := make([]float64, dim)
+			for j := range v {
+				v[j] = center[j] + rng.NormFloat64()*0.5
+			}
+			vecs = append(vecs, v)
+			labels = append(labels, c)
+		}
+	}
+	return vecs, labels
+}
+
+func TestRecoversSeparatedClusters(t *testing.T) {
+	vecs, labels := blobs(3, 30, 4, 1)
+	rng := rand.New(rand.NewSource(2))
+	res := Run(vecs, 3, rng, 3)
+	// Every true cluster must map to exactly one predicted cluster.
+	mapping := map[int]int{}
+	for i, lab := range labels {
+		got := res.Assign[i]
+		if prev, ok := mapping[lab]; ok && prev != got {
+			t.Fatalf("true cluster %d split across predicted clusters %d and %d", lab, prev, got)
+		}
+		mapping[lab] = got
+	}
+	if len(mapping) != 3 {
+		t.Errorf("recovered %d clusters, want 3", len(mapping))
+	}
+}
+
+func TestKClampedToN(t *testing.T) {
+	vecs := [][]float64{{1}, {2}}
+	rng := rand.New(rand.NewSource(3))
+	res := Run(vecs, 10, rng, 1)
+	if len(res.Centers) != 2 {
+		t.Errorf("centers = %d, want clamped to 2", len(res.Centers))
+	}
+}
+
+func TestKOneGroupsEverything(t *testing.T) {
+	vecs, _ := blobs(2, 10, 3, 4)
+	rng := rand.New(rand.NewSource(5))
+	res := Run(vecs, 1, rng, 1)
+	groups := res.Groups()
+	if len(groups) != 1 || len(groups[0]) != len(vecs) {
+		t.Errorf("k=1 groups = %v", groups)
+	}
+}
+
+func TestCostDecreasesWithK(t *testing.T) {
+	vecs, _ := blobs(4, 25, 3, 6)
+	rng := rand.New(rand.NewSource(7))
+	prev := math.Inf(1)
+	for _, k := range []int{1, 2, 4} {
+		res := Run(vecs, k, rng, 5)
+		if res.Cost > prev*1.05 {
+			t.Errorf("k=%d cost %.2f above k-smaller cost %.2f", k, res.Cost, prev)
+		}
+		prev = res.Cost
+	}
+}
+
+func TestDeterministicWithSameRNG(t *testing.T) {
+	vecs, _ := blobs(3, 20, 2, 8)
+	a := Run(vecs, 3, rand.New(rand.NewSource(9)), 2)
+	b := Run(vecs, 3, rand.New(rand.NewSource(9)), 2)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestIdenticalPointsDoNotCrash(t *testing.T) {
+	vecs := [][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	rng := rand.New(rand.NewSource(10))
+	res := Run(vecs, 3, rng, 2)
+	if res.Cost != 0 {
+		t.Errorf("cost on identical points = %v, want 0", res.Cost)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	if d := Distance([]float64{0, 3}, []float64{4, 0}); math.Abs(d-5) > 1e-12 {
+		t.Errorf("Distance = %v, want 5", d)
+	}
+}
+
+func TestGroupsPreserveAllIndexes(t *testing.T) {
+	vecs, _ := blobs(3, 15, 2, 11)
+	rng := rand.New(rand.NewSource(12))
+	res := Run(vecs, 3, rng, 1)
+	seen := map[int]bool{}
+	for _, g := range res.Groups() {
+		for _, i := range g {
+			if seen[i] {
+				t.Fatalf("index %d in two groups", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != len(vecs) {
+		t.Errorf("groups cover %d of %d points", len(seen), len(vecs))
+	}
+}

@@ -1,0 +1,291 @@
+// Package lp provides a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    cᵀx
+//	subject to  A·x ≤ b   (row-wise, b may be negative)
+//	            0 ≤ x ≤ u (per-variable upper bounds, +Inf allowed)
+//
+// It exists because the paper's §5.4 ablation contrasts CORADD's exact ILP
+// with the relaxation-based formulation of Papadomanolakis & Ailamaki
+// (ICDE 2007): we relax the design ILP with this solver, round, and measure
+// the benefit loss. It also serves as an optional bound inside the
+// branch-and-bound ILP solver.
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible means no x satisfies the constraints.
+	Infeasible
+	// Unbounded means the objective decreases without bound.
+	Unbounded
+	// IterationLimit means the pivot limit was reached.
+	IterationLimit
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	default:
+		return "unknown"
+	}
+}
+
+const eps = 1e-9
+
+// Problem is an LP instance. Upper bounds U may be nil (all +Inf) and are
+// implemented by adding explicit rows, keeping the core solver simple.
+type Problem struct {
+	// C is the objective coefficient vector (length n).
+	C []float64
+	// A is the constraint matrix, one row per ≤ constraint.
+	A [][]float64
+	// B is the right-hand side (length len(A)).
+	B []float64
+	// U are optional per-variable upper bounds; math.Inf(1) disables one.
+	U []float64
+	// MaxPivots bounds the simplex iterations; 0 means 50·(m+n).
+	MaxPivots int
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status Status
+	// X is the primal solution (length n) when Status == Optimal.
+	X []float64
+	// Objective is cᵀx.
+	Objective float64
+	// Pivots is the number of simplex pivots performed.
+	Pivots int
+}
+
+// ErrBadShape reports inconsistent dimensions.
+var ErrBadShape = errors.New("lp: inconsistent problem dimensions")
+
+// Solve runs two-phase simplex on p.
+func Solve(p *Problem) (*Solution, error) {
+	n := len(p.C)
+	for _, row := range p.A {
+		if len(row) != n {
+			return nil, ErrBadShape
+		}
+	}
+	if len(p.B) != len(p.A) {
+		return nil, ErrBadShape
+	}
+	// Fold finite upper bounds in as extra rows.
+	a := make([][]float64, 0, len(p.A)+n)
+	b := make([]float64, 0, len(p.B)+n)
+	for i, row := range p.A {
+		r := make([]float64, n)
+		copy(r, row)
+		a = append(a, r)
+		b = append(b, p.B[i])
+	}
+	if p.U != nil {
+		if len(p.U) != n {
+			return nil, ErrBadShape
+		}
+		for j, u := range p.U {
+			if math.IsInf(u, 1) {
+				continue
+			}
+			r := make([]float64, n)
+			r[j] = 1
+			a = append(a, r)
+			b = append(b, u)
+		}
+	}
+	return solveStandard(p.C, a, b, p.MaxPivots), nil
+}
+
+// solveStandard solves min cᵀx s.t. Ax ≤ b, x ≥ 0 with a tableau simplex.
+// Negative b entries are handled by a phase-1 with artificial variables.
+func solveStandard(c []float64, a [][]float64, b []float64, maxPivots int) *Solution {
+	m, n := len(a), len(c)
+	if maxPivots <= 0 {
+		maxPivots = 50 * (m + n + 1)
+	}
+	// Tableau columns: n structural + m slacks + up to m artificials + RHS.
+	needArt := 0
+	for i := range b {
+		if b[i] < -eps {
+			needArt++
+		}
+	}
+	cols := n + m + needArt
+	t := make([][]float64, m+1)
+	for i := range t {
+		t[i] = make([]float64, cols+1)
+	}
+	basis := make([]int, m)
+	artOf := make([]int, 0, needArt)
+	art := n + m
+	for i := 0; i < m; i++ {
+		sign := 1.0
+		if b[i] < -eps {
+			sign = -1 // flip the row so RHS is nonnegative
+		}
+		for j := 0; j < n; j++ {
+			t[i][j] = sign * a[i][j]
+		}
+		t[i][n+i] = sign // slack
+		t[i][cols] = sign * b[i]
+		if sign < 0 {
+			t[i][art] = 1
+			basis[i] = art
+			artOf = append(artOf, i)
+			art++
+		} else {
+			basis[i] = n + i
+		}
+	}
+	pivots := 0
+	// Phase 1: minimize the sum of artificials. The phase-1 cost is 1 on
+	// each artificial and 0 elsewhere; expressing it in the starting basis
+	// (where the artificials are basic) subtracts their rows and leaves a
+	// zero reduced cost on each artificial column itself.
+	if needArt > 0 {
+		obj := t[m]
+		for j := range obj {
+			obj[j] = 0
+		}
+		for ac := n + m; ac < n+m+needArt; ac++ {
+			obj[ac] = 1
+		}
+		for _, i := range artOf {
+			for j := 0; j <= cols; j++ {
+				obj[j] -= t[i][j]
+			}
+		}
+		st := runSimplex(t, basis, cols, n+m+needArt, maxPivots, &pivots)
+		if st == IterationLimit {
+			return &Solution{Status: IterationLimit, Pivots: pivots}
+		}
+		if -t[m][cols] > 1e-6 {
+			return &Solution{Status: Infeasible, Pivots: pivots}
+		}
+		// Drive any remaining artificial out of the basis.
+		for i := 0; i < m; i++ {
+			if basis[i] < n+m {
+				continue
+			}
+			done := false
+			for j := 0; j < n+m && !done; j++ {
+				if math.Abs(t[i][j]) > eps {
+					pivot(t, basis, i, j, cols)
+					pivots++
+					done = true
+				}
+			}
+		}
+	}
+	// Phase 2: install the real objective expressed in the current basis.
+	obj := t[m]
+	for j := range obj {
+		obj[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		obj[j] = c[j]
+	}
+	for i := 0; i < m; i++ {
+		bj := basis[i]
+		if bj < cols && math.Abs(obj[bj]) > eps {
+			f := obj[bj]
+			for j := 0; j <= cols; j++ {
+				obj[j] -= f * t[i][j]
+			}
+		}
+	}
+	st := runSimplex(t, basis, cols, n+m, maxPivots, &pivots)
+	if st != Optimal {
+		return &Solution{Status: st, Pivots: pivots}
+	}
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			x[basis[i]] = t[i][cols]
+		}
+	}
+	objVal := 0.0
+	for j := 0; j < n; j++ {
+		objVal += c[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: objVal, Pivots: pivots}
+}
+
+// runSimplex pivots until optimality over columns [0, usable).
+func runSimplex(t [][]float64, basis []int, cols, usable, maxPivots int, pivots *int) Status {
+	m := len(basis)
+	for {
+		if *pivots >= maxPivots {
+			return IterationLimit
+		}
+		// Entering column: most negative reduced cost (Dantzig rule).
+		enter := -1
+		best := -eps
+		for j := 0; j < usable; j++ {
+			if t[m][j] < best {
+				best = t[m][j]
+				enter = j
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Leaving row: min ratio, Bland-ish tie-break on basis index for
+		// cycling resistance.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > eps {
+				r := t[i][cols] / t[i][enter]
+				if r < bestRatio-eps || (r < bestRatio+eps && leave >= 0 && basis[i] < basis[leave]) {
+					bestRatio = r
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		pivot(t, basis, leave, enter, cols)
+		*pivots++
+	}
+}
+
+func pivot(t [][]float64, basis []int, row, col, cols int) {
+	pv := t[row][col]
+	for j := 0; j <= cols; j++ {
+		t[row][j] /= pv
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if math.Abs(f) <= eps {
+			continue
+		}
+		for j := 0; j <= cols; j++ {
+			t[i][j] -= f * t[row][j]
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,196 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %s", sol.Status)
+	}
+	return sol
+}
+
+func TestSimpleMin(t *testing.T) {
+	// min -x - 2y s.t. x + y ≤ 4, x ≤ 3, y ≤ 2 → x=2, y=2, obj=-6.
+	sol := solveOK(t, &Problem{
+		C: []float64{-1, -2},
+		A: [][]float64{{1, 1}},
+		B: []float64{4},
+		U: []float64{3, 2},
+	})
+	if math.Abs(sol.Objective+6) > 1e-6 {
+		t.Errorf("objective = %v, want -6", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-6 || math.Abs(sol.X[1]-2) > 1e-6 {
+		t.Errorf("x = %v, want (2,2)", sol.X)
+	}
+}
+
+func TestKnapsackRelaxation(t *testing.T) {
+	// max 3a + 5b + 4c with weights 2,4,3 ≤ 5, vars in [0,1]: taking a and
+	// c fills the knapsack exactly (weight 5) for value 7, beating any
+	// fractional use of b. Check via min of the negated objective.
+	sol := solveOK(t, &Problem{
+		C: []float64{-3, -5, -4},
+		A: [][]float64{{2, 4, 3}},
+		B: []float64{5},
+		U: []float64{1, 1, 1},
+	})
+	if math.Abs(sol.Objective+7) > 1e-6 {
+		t.Errorf("objective = %v, want -7", sol.Objective)
+	}
+	// A genuinely fractional instance: one item of weight 2, budget 1.
+	frac := solveOK(t, &Problem{
+		C: []float64{-3},
+		A: [][]float64{{2}},
+		B: []float64{1},
+		U: []float64{1},
+	})
+	if math.Abs(frac.X[0]-0.5) > 1e-6 {
+		t.Errorf("fractional x = %v, want 0.5", frac.X[0])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x ≤ 1 and -x ≤ -3 (x ≥ 3): infeasible.
+	sol, err := Solve(&Problem{
+		C: []float64{1},
+		A: [][]float64{{1}, {-1}},
+		B: []float64{1, -3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %s, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with only x ≥ 0: unbounded below.
+	sol, err := Solve(&Problem{C: []float64{-1}, A: nil, B: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %s, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHSPhase1(t *testing.T) {
+	// min x + y s.t. x + y ≥ 2 (as -x - y ≤ -2) → obj 2.
+	sol := solveOK(t, &Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{-1, -1}},
+		B: []float64{-2},
+	})
+	if math.Abs(sol.Objective-2) > 1e-6 {
+		t.Errorf("objective = %v, want 2", sol.Objective)
+	}
+}
+
+func TestEqualityViaTwoInequalities(t *testing.T) {
+	// x + y = 3 encoded as ≤ and ≥; min x → x=0,y=3 with y ≤ 5.
+	sol := solveOK(t, &Problem{
+		C: []float64{1, 0},
+		A: [][]float64{{1, 1}, {-1, -1}},
+		B: []float64{3, -3},
+		U: []float64{math.Inf(1), 5},
+	})
+	if math.Abs(sol.Objective) > 1e-6 {
+		t.Errorf("objective = %v, want 0", sol.Objective)
+	}
+	if math.Abs(sol.X[0]+sol.X[1]-3) > 1e-6 {
+		t.Errorf("x+y = %v, want 3", sol.X[0]+sol.X[1])
+	}
+}
+
+func TestBadShape(t *testing.T) {
+	_, err := Solve(&Problem{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}})
+	if err == nil {
+		t.Error("expected shape error")
+	}
+}
+
+// TestRandomLPsFeasibleBounded cross-checks simplex solutions against a
+// brute-force grid evaluation on tiny random boxes.
+func TestRandomLPsFeasibleBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(2)
+		m := 1 + rng.Intn(3)
+		p := &Problem{
+			C: make([]float64, n),
+			U: make([]float64, n),
+		}
+		for j := 0; j < n; j++ {
+			p.C[j] = rng.Float64()*4 - 2
+			p.U[j] = 1
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64() * 2 // nonnegative ⇒ feasible at 0
+			}
+			p.A = append(p.A, row)
+			p.B = append(p.B, rng.Float64()*float64(n))
+		}
+		sol := solveOK(t, p)
+		// The solution must satisfy all constraints.
+		for i, row := range p.A {
+			lhs := 0.0
+			for j := range row {
+				lhs += row[j] * sol.X[j]
+			}
+			if lhs > p.B[i]+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated", trial, i)
+			}
+		}
+		// And beat a coarse grid search (which only probes feasible points).
+		best := gridBest(p, 5)
+		if sol.Objective > best+1e-6 {
+			t.Fatalf("trial %d: simplex %.6f worse than grid %.6f", trial, sol.Objective, best)
+		}
+	}
+}
+
+func gridBest(p *Problem, steps int) float64 {
+	n := len(p.C)
+	best := math.Inf(1)
+	var walk func(j int, x []float64)
+	walk = func(j int, x []float64) {
+		if j == n {
+			for i, row := range p.A {
+				lhs := 0.0
+				for k := range row {
+					lhs += row[k] * x[k]
+				}
+				if lhs > p.B[i]+1e-9 {
+					return
+				}
+			}
+			obj := 0.0
+			for k := range x {
+				obj += p.C[k] * x[k]
+			}
+			if obj < best {
+				best = obj
+			}
+			return
+		}
+		for s := 0; s <= steps; s++ {
+			x[j] = float64(s) / float64(steps) * p.U[j]
+			walk(j+1, x)
+		}
+	}
+	walk(0, make([]float64, n))
+	return best
+}

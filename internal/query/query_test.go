@@ -1,0 +1,149 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coradd/internal/value"
+)
+
+func TestPredicateMatches(t *testing.T) {
+	eq := NewEq("a", 5)
+	rng := NewRange("a", 2, 8)
+	in := NewIn("a", 9, 1, 5) // constructor sorts
+
+	cases := []struct {
+		p    Predicate
+		v    value.V
+		want bool
+	}{
+		{eq, 5, true}, {eq, 4, false},
+		{rng, 2, true}, {rng, 8, true}, {rng, 1, false}, {rng, 9, false},
+		{in, 1, true}, {in, 5, true}, {in, 9, true}, {in, 2, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Matches(c.v); got != c.want {
+			t.Errorf("%s.Matches(%d) = %v, want %v", c.p.String(), c.v, got, c.want)
+		}
+	}
+}
+
+func TestInSetSorted(t *testing.T) {
+	in := NewIn("a", 9, 1, 5)
+	if in.Set[0] != 1 || in.Set[1] != 5 || in.Set[2] != 9 {
+		t.Errorf("Set not sorted: %v", in.Set)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	eq, rng, in := NewEq("a", 5), NewRange("a", 2, 8), NewIn("a", 9, 1)
+	if lo, hi := eq.Bounds(); lo != 5 || hi != 5 {
+		t.Error("Eq bounds")
+	}
+	if lo, hi := rng.Bounds(); lo != 2 || hi != 8 {
+		t.Error("Range bounds")
+	}
+	if lo, hi := in.Bounds(); lo != 1 || hi != 9 {
+		t.Error("In bounds")
+	}
+}
+
+func TestBoundsContainMatches(t *testing.T) {
+	prop := func(kind uint8, a, b, c, probe int64) bool {
+		var p Predicate
+		switch kind % 3 {
+		case 0:
+			p = NewEq("x", a)
+		case 1:
+			lo, hi := a, b
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			p = NewRange("x", lo, hi)
+		default:
+			p = NewIn("x", a, b, c)
+		}
+		if !p.Matches(probe) {
+			return true
+		}
+		lo, hi := p.Bounds()
+		return probe >= lo && probe <= hi
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sampleQuery() *Query {
+	return &Query{
+		Name: "q", Fact: "f",
+		Predicates: []Predicate{NewEq("a", 1), NewRange("b", 2, 3)},
+		Targets:    []string{"t1", "a"},
+		AggCol:     "agg",
+	}
+}
+
+func TestAllColumnsDedupSorted(t *testing.T) {
+	got := sampleQuery().AllColumns()
+	want := []string{"a", "agg", "b", "t1"}
+	if len(got) != len(want) {
+		t.Fatalf("AllColumns = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AllColumns = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPredicateLookup(t *testing.T) {
+	q := sampleQuery()
+	if q.Predicate("a") == nil || q.Predicate("b") == nil {
+		t.Error("Predicate lookup failed")
+	}
+	if q.Predicate("t1") != nil {
+		t.Error("Predicate on target should be nil")
+	}
+}
+
+func TestMatchesRow(t *testing.T) {
+	q := sampleQuery()
+	cols := map[string]int{"a": 0, "b": 1}
+	col := func(n string) int { return cols[n] }
+	if !q.MatchesRow(value.Row{1, 2}, col) {
+		t.Error("row should match")
+	}
+	if q.MatchesRow(value.Row{1, 9}, col) {
+		t.Error("row should fail the range predicate")
+	}
+}
+
+func TestEffectiveWeight(t *testing.T) {
+	q := &Query{}
+	if q.EffectiveWeight() != 1 {
+		t.Error("zero weight should default to 1")
+	}
+	q.Weight = 2.5
+	if q.EffectiveWeight() != 2.5 {
+		t.Error("explicit weight ignored")
+	}
+}
+
+func TestWorkloadHelpers(t *testing.T) {
+	w := Workload{
+		{Name: "q1", Fact: "f1"},
+		{Name: "q2", Fact: "f2"},
+		{Name: "q3", Fact: "f1"},
+	}
+	byFact := w.ByFact()
+	if len(byFact["f1"]) != 2 || len(byFact["f2"]) != 1 {
+		t.Errorf("ByFact = %v", byFact)
+	}
+	if w.Find("q2") == nil || w.Find("nope") != nil {
+		t.Error("Find broken")
+	}
+	names := w.Names()
+	if names[0] != "q1" || names[2] != "q3" {
+		t.Errorf("Names = %v", names)
+	}
+}

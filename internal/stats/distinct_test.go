@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+
+	"coradd/internal/value"
+)
+
+func profileOf(sample []int) sampleCounts {
+	freq := map[string]int{}
+	for _, v := range sample {
+		freq[string(rune(v))]++
+	}
+	return countFrequencies(freq)
+}
+
+func TestGEEUniform(t *testing.T) {
+	// 1000 rows sampled from 100k rows with 5000 distinct uniform values.
+	rng := rand.New(rand.NewSource(1))
+	sample := make([]int, 1000)
+	for i := range sample {
+		sample[i] = rng.Intn(5000)
+	}
+	c := profileOf(sample)
+	est := GEE(c, 1000, 100000)
+	if est < 2500 || est > 12000 {
+		t.Errorf("GEE = %v, want within a factor ~2 of 5000", est)
+	}
+}
+
+func TestEstimateDistinctBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range []int{10, 500, 5000} {
+		sample := make([]int, 2000)
+		for i := range sample {
+			sample[i] = rng.Intn(d)
+		}
+		c := profileOf(sample)
+		est := EstimateDistinct(c, 2000, 1_000_000)
+		if est < float64(c.d) {
+			t.Errorf("d=%d: estimate %v below observed %d", d, est, c.d)
+		}
+		if est > 1_000_000 {
+			t.Errorf("d=%d: estimate %v above population", d, est)
+		}
+	}
+}
+
+func TestEstimateDistinctLowCardinalityIsExactish(t *testing.T) {
+	// Every value seen many times: f1 = 0 → no upward correction.
+	rng := rand.New(rand.NewSource(3))
+	sample := make([]int, 2000)
+	for i := range sample {
+		sample[i] = rng.Intn(7)
+	}
+	c := profileOf(sample)
+	est := EstimateDistinct(c, 2000, 1_000_000)
+	if est != 7 {
+		t.Errorf("estimate = %v, want exactly 7", est)
+	}
+}
+
+func TestChaoNoF2(t *testing.T) {
+	c := sampleCounts{d: 10, f1: 4, f2: 0}
+	got := Chao(c)
+	want := 10 + float64(4*3)/2
+	if got != want {
+		t.Errorf("Chao84 fallback = %v, want %v", got, want)
+	}
+}
+
+func TestEstimateDistinctRawMatches(t *testing.T) {
+	a := EstimateDistinct(sampleCounts{d: 50, f1: 20, f2: 10}, 100, 10000)
+	b := EstimateDistinctRaw(50, 20, 10, 100, 10000)
+	if a != b {
+		t.Errorf("raw wrapper mismatch: %v vs %v", a, b)
+	}
+}
+
+func TestDistinctSampler(t *testing.T) {
+	s := NewDistinctSampler(256)
+	rng := rand.New(rand.NewSource(4))
+	const trueD = 10000
+	for i := 0; i < 100000; i++ {
+		s.Add([]value.V{value.V(rng.Intn(trueD))})
+	}
+	est := s.Estimate()
+	if est < trueD/3 || est > trueD*3 {
+		t.Errorf("Gibbons estimate %v, want within 3x of %d", est, trueD)
+	}
+}
+
+func TestDistinctSamplerLowCardinality(t *testing.T) {
+	s := NewDistinctSampler(256)
+	for i := 0; i < 10000; i++ {
+		s.Add([]value.V{value.V(i % 20)})
+	}
+	if est := s.Estimate(); est != 20 {
+		t.Errorf("estimate = %v, want exactly 20 (fits the sketch)", est)
+	}
+}
+
+func TestDistinctSamplerComposite(t *testing.T) {
+	s := NewDistinctSampler(64)
+	for i := 0; i < 5000; i++ {
+		s.Add([]value.V{value.V(i % 10), value.V(i % 7)})
+	}
+	est := s.Estimate() // 70 joint values
+	if est < 35 || est > 140 {
+		t.Errorf("composite estimate %v, want ≈ 70", est)
+	}
+}

@@ -1,0 +1,126 @@
+package storage
+
+// BufferPool simulates an LRU buffer pool with write-back of dirty pages.
+// It exists to reproduce the maintenance-cost experiment of Appendix A-3:
+// as the total size of materialized objects grows past the pool size, each
+// INSERT dirties pages across more objects, evictions begin writing dirty
+// pages to disk, and insert throughput collapses.
+//
+// Pages are identified by (objectID, pageNo). The pool does not hold data;
+// it only tracks residency and dirtiness and counts the I/O that a real
+// pool would perform.
+type BufferPool struct {
+	capacity int // in pages
+	// lru is a doubly linked list of resident pages, most recent at head.
+	head, tail *bufPage
+	pages      map[pageID]*bufPage
+
+	// Reads counts pages faulted in from disk; DirtyWrites counts dirty
+	// pages written back on eviction or flush.
+	Reads       int
+	DirtyWrites int
+}
+
+type pageID struct {
+	object int
+	page   int
+}
+
+type bufPage struct {
+	id         pageID
+	dirty      bool
+	prev, next *bufPage
+}
+
+// NewBufferPool creates a pool holding capacityPages pages (minimum 1).
+func NewBufferPool(capacityPages int) *BufferPool {
+	if capacityPages < 1 {
+		capacityPages = 1
+	}
+	return &BufferPool{
+		capacity: capacityPages,
+		pages:    make(map[pageID]*bufPage, capacityPages),
+	}
+}
+
+// Len returns the number of resident pages.
+func (bp *BufferPool) Len() int { return len(bp.pages) }
+
+// Touch accesses page (object, page) for reading, faulting it in if absent.
+func (bp *BufferPool) Touch(object, page int) { bp.access(object, page, false) }
+
+// Dirty accesses page (object, page) for writing, marking it dirty.
+func (bp *BufferPool) Dirty(object, page int) { bp.access(object, page, true) }
+
+func (bp *BufferPool) access(object, page int, dirty bool) {
+	id := pageID{object, page}
+	if p, ok := bp.pages[id]; ok {
+		p.dirty = p.dirty || dirty
+		bp.moveToFront(p)
+		return
+	}
+	bp.Reads++
+	p := &bufPage{id: id, dirty: dirty}
+	bp.pages[id] = p
+	bp.pushFront(p)
+	for len(bp.pages) > bp.capacity {
+		bp.evictTail()
+	}
+}
+
+// Flush writes back every dirty resident page (counted in DirtyWrites)
+// without evicting anything.
+func (bp *BufferPool) Flush() {
+	for p := bp.head; p != nil; p = p.next {
+		if p.dirty {
+			bp.DirtyWrites++
+			p.dirty = false
+		}
+	}
+}
+
+func (bp *BufferPool) pushFront(p *bufPage) {
+	p.prev = nil
+	p.next = bp.head
+	if bp.head != nil {
+		bp.head.prev = p
+	}
+	bp.head = p
+	if bp.tail == nil {
+		bp.tail = p
+	}
+}
+
+func (bp *BufferPool) moveToFront(p *bufPage) {
+	if bp.head == p {
+		return
+	}
+	// unlink
+	if p.prev != nil {
+		p.prev.next = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	}
+	if bp.tail == p {
+		bp.tail = p.prev
+	}
+	bp.pushFront(p)
+}
+
+func (bp *BufferPool) evictTail() {
+	p := bp.tail
+	if p == nil {
+		return
+	}
+	if p.dirty {
+		bp.DirtyWrites++
+	}
+	bp.tail = p.prev
+	if bp.tail != nil {
+		bp.tail.next = nil
+	} else {
+		bp.head = nil
+	}
+	delete(bp.pages, p.id)
+}

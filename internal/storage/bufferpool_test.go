@@ -1,0 +1,103 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBufferPoolHitNoIO(t *testing.T) {
+	bp := NewBufferPool(10)
+	bp.Touch(0, 1)
+	bp.Touch(0, 1)
+	bp.Touch(0, 1)
+	if bp.Reads != 1 {
+		t.Errorf("Reads = %d, want 1 (hits must be free)", bp.Reads)
+	}
+}
+
+func TestBufferPoolEvictsLRU(t *testing.T) {
+	bp := NewBufferPool(2)
+	bp.Touch(0, 1)
+	bp.Touch(0, 2)
+	bp.Touch(0, 1) // 2 is now LRU
+	bp.Touch(0, 3) // evicts 2
+	bp.Touch(0, 1) // still resident: no read
+	if bp.Reads != 3 {
+		t.Errorf("Reads = %d, want 3", bp.Reads)
+	}
+	bp.Touch(0, 2) // faulted back in
+	if bp.Reads != 4 {
+		t.Errorf("Reads = %d, want 4 after refetch of evicted page", bp.Reads)
+	}
+}
+
+func TestBufferPoolDirtyWriteOnEviction(t *testing.T) {
+	bp := NewBufferPool(1)
+	bp.Dirty(0, 1)
+	bp.Touch(0, 2) // evicts dirty page 1
+	if bp.DirtyWrites != 1 {
+		t.Errorf("DirtyWrites = %d, want 1", bp.DirtyWrites)
+	}
+	bp.Touch(0, 3) // evicts clean page 2: no write
+	if bp.DirtyWrites != 1 {
+		t.Errorf("DirtyWrites = %d, want still 1", bp.DirtyWrites)
+	}
+}
+
+func TestBufferPoolFlush(t *testing.T) {
+	bp := NewBufferPool(10)
+	bp.Dirty(0, 1)
+	bp.Dirty(0, 2)
+	bp.Touch(0, 3)
+	bp.Flush()
+	if bp.DirtyWrites != 2 {
+		t.Errorf("Flush wrote %d pages, want 2", bp.DirtyWrites)
+	}
+	bp.Flush() // pages now clean
+	if bp.DirtyWrites != 2 {
+		t.Errorf("second Flush rewrote pages: %d", bp.DirtyWrites)
+	}
+}
+
+func TestBufferPoolCapacityRespected(t *testing.T) {
+	bp := NewBufferPool(16)
+	for i := 0; i < 100; i++ {
+		bp.Touch(1, i)
+	}
+	if bp.Len() != 16 {
+		t.Errorf("resident pages = %d, want 16", bp.Len())
+	}
+}
+
+func TestBufferPoolObjectsAreDistinct(t *testing.T) {
+	bp := NewBufferPool(10)
+	bp.Touch(0, 7)
+	bp.Touch(1, 7)
+	if bp.Reads != 2 {
+		t.Errorf("(0,7) and (1,7) collided: reads = %d", bp.Reads)
+	}
+}
+
+func TestBufferPoolWorkingSetBehaviour(t *testing.T) {
+	// A working set inside capacity: reads approach the working-set size.
+	rng := rand.New(rand.NewSource(1))
+	bp := NewBufferPool(100)
+	for i := 0; i < 10000; i++ {
+		bp.Dirty(0, rng.Intn(80))
+	}
+	bp.Flush()
+	if bp.Reads != 80 {
+		t.Errorf("in-capacity reads = %d, want 80 (one fault per page)", bp.Reads)
+	}
+	if bp.DirtyWrites != 80 {
+		t.Errorf("in-capacity dirty writes = %d, want 80 (flush only)", bp.DirtyWrites)
+	}
+	// Working set 4x capacity: most accesses miss and write back.
+	bp2 := NewBufferPool(100)
+	for i := 0; i < 10000; i++ {
+		bp2.Dirty(0, rng.Intn(400))
+	}
+	if bp2.Reads < 5000 {
+		t.Errorf("over-capacity reads = %d, want thrashing (≥5000)", bp2.Reads)
+	}
+}

@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"coradd/internal/schema"
+	"coradd/internal/value"
+)
+
+func testSchema() *schema.Schema {
+	return schema.New(
+		schema.Column{Name: "k", ByteSize: 4},
+		schema.Column{Name: "v", ByteSize: 4},
+	)
+}
+
+func makeRel(n int, seed int64, key ...string) *Relation {
+	s := testSchema()
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{value.V(rng.Intn(100)), value.V(i)}
+	}
+	return NewRelation("t", s, s.ColSet(key...), rows)
+}
+
+func TestRelationSortedByClusterKey(t *testing.T) {
+	rel := makeRel(5000, 1, "k")
+	for i := 1; i < len(rel.Rows); i++ {
+		if rel.Rows[i-1][0] > rel.Rows[i][0] {
+			t.Fatalf("rows not sorted at %d", i)
+		}
+	}
+}
+
+func TestReclusterStable(t *testing.T) {
+	rel := makeRel(1000, 2, "k")
+	rel.Recluster(rel.Schema.ColSet("v"))
+	for i := 1; i < len(rel.Rows); i++ {
+		if rel.Rows[i-1][1] > rel.Rows[i][1] {
+			t.Fatalf("recluster on v not sorted at %d", i)
+		}
+	}
+}
+
+func TestPageMath(t *testing.T) {
+	rel := makeRel(10000, 3, "k")
+	tpp := rel.TuplesPerPage()
+	if tpp != PageSize/8 {
+		t.Errorf("TuplesPerPage = %d, want %d", tpp, PageSize/8)
+	}
+	wantPages := (10000 + tpp - 1) / tpp
+	if rel.NumPages() != wantPages {
+		t.Errorf("NumPages = %d, want %d", rel.NumPages(), wantPages)
+	}
+	if rel.PageOfRow(0) != 0 || rel.PageOfRow(tpp) != 1 {
+		t.Error("PageOfRow math wrong")
+	}
+	if rel.HeapBytes() != int64(wantPages)*PageSize {
+		t.Errorf("HeapBytes = %d", rel.HeapBytes())
+	}
+}
+
+func TestEqualRangeMatchesLinearScan(t *testing.T) {
+	rel := makeRel(3000, 4, "k")
+	prop := func(key uint8) bool {
+		k := value.V(key % 110) // includes absent values
+		lo, hi := rel.EqualRange([]value.V{k})
+		count := 0
+		for _, r := range rel.Rows {
+			if r[0] == k {
+				count++
+			}
+		}
+		if hi-lo != count {
+			return false
+		}
+		for i := lo; i < hi; i++ {
+			if rel.Rows[i][0] != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixRange(t *testing.T) {
+	rel := makeRel(3000, 5, "k")
+	lo, hi := rel.PrefixRange(10, 20)
+	for i := lo; i < hi; i++ {
+		if rel.Rows[i][0] < 10 || rel.Rows[i][0] > 20 {
+			t.Fatalf("row %d outside range: %d", i, rel.Rows[i][0])
+		}
+	}
+	if lo > 0 && rel.Rows[lo-1][0] >= 10 {
+		t.Error("PrefixRange lo not tight")
+	}
+	if hi < len(rel.Rows) && rel.Rows[hi][0] <= 20 {
+		t.Error("PrefixRange hi not tight")
+	}
+}
+
+func TestProjectBuildsSortedMV(t *testing.T) {
+	rel := makeRel(2000, 6, "k")
+	mv := rel.Project("mv", rel.Schema.ColSet("v", "k"), []int{0}) // cluster on v
+	if mv.Schema.Columns[0].Name != "v" {
+		t.Fatalf("projection order wrong: %v", mv.Schema.Names())
+	}
+	if !sort.SliceIsSorted(mv.Rows, func(i, j int) bool { return mv.Rows[i][0] < mv.Rows[j][0] }) {
+		t.Error("MV not sorted on its clustered key")
+	}
+	if mv.NumRows() != rel.NumRows() {
+		t.Error("MV row count mismatch")
+	}
+	// Projection must not alias the base rows.
+	mv.Rows[0][0] = -1
+	for _, r := range rel.Rows {
+		if r[1] == -1 {
+			t.Fatal("projection aliased base storage")
+		}
+	}
+}
+
+func TestIOStatsSeconds(t *testing.T) {
+	io := IOStats{Seeks: 2, PagesRead: 100}
+	p := DiskParams{SeekCost: 0.005, PageReadCost: 0.0001}
+	want := 2*0.005 + 100*0.0001
+	if got := io.Seconds(p); got != want {
+		t.Errorf("Seconds = %v, want %v", got, want)
+	}
+	var sum IOStats
+	sum.Add(io)
+	sum.Add(IOStats{Seeks: 1, PagesRead: 1, IndexPagesRead: 1})
+	if sum.Seeks != 3 || sum.PagesRead != 101 || sum.IndexPagesRead != 1 {
+		t.Errorf("Add broken: %+v", sum)
+	}
+}
+
+func TestUnclusteredRelationKeepsLoadOrder(t *testing.T) {
+	s := testSchema()
+	rows := []value.Row{{5, 0}, {1, 1}, {3, 2}}
+	rel := NewRelation("t", s, nil, rows)
+	if rel.Rows[0][0] != 5 || rel.Rows[2][0] != 3 {
+		t.Error("unclustered relation was reordered")
+	}
+}

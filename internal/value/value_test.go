@@ -1,0 +1,88 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareKeys(t *testing.T) {
+	cases := []struct {
+		a, b []V
+		want int
+	}{
+		{[]V{1, 2}, []V{1, 2}, 0},
+		{[]V{1, 2}, []V{1, 3}, -1},
+		{[]V{2}, []V{1, 9}, 1},
+		{[]V{1}, []V{1, 0}, -1}, // shorter is smaller on tie
+		{nil, nil, 0},
+		{[]V{-5}, []V{5}, -1},
+	}
+	for _, c := range cases {
+		if got := CompareKeys(c.a, c.b); got != c.want {
+			t.Errorf("CompareKeys(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareKeysAntisymmetry(t *testing.T) {
+	prop := func(a, b []int64) bool {
+		return CompareKeys(a, b) == -CompareKeys(b, a)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareKeysTransitivityOnTriples(t *testing.T) {
+	prop := func(a, b, c []int64) bool {
+		ab, bc, ac := CompareKeys(a, b), CompareKeys(b, c), CompareKeys(a, c)
+		if ab <= 0 && bc <= 0 {
+			return ac <= 0
+		}
+		if ab >= 0 && bc >= 0 {
+			return ac >= 0
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareRows(t *testing.T) {
+	a := Row{3, 1, 9}
+	b := Row{3, 2, 0}
+	if got := CompareRows(a, b, []int{0}); got != 0 {
+		t.Errorf("compare on col 0 = %d, want 0", got)
+	}
+	if got := CompareRows(a, b, []int{0, 1}); got != -1 {
+		t.Errorf("compare on cols 0,1 = %d, want -1", got)
+	}
+	if got := CompareRows(a, b, []int{2}); got != 1 {
+		t.Errorf("compare on col 2 = %d, want 1", got)
+	}
+}
+
+func TestKeyOfAndEqualKeys(t *testing.T) {
+	r := Row{10, 20, 30}
+	k := KeyOf(r, []int{2, 0})
+	if !EqualKeys(k, []V{30, 10}) {
+		t.Errorf("KeyOf = %v", k)
+	}
+	if EqualKeys(k, []V{30}) {
+		t.Error("EqualKeys ignored length")
+	}
+	r[2] = 99
+	if !EqualKeys(k, []V{30, 10}) {
+		t.Error("KeyOf did not copy")
+	}
+}
+
+func TestCloneRow(t *testing.T) {
+	r := Row{1, 2}
+	c := CloneRow(r)
+	c[0] = 9
+	if r[0] != 1 {
+		t.Error("CloneRow aliases the original")
+	}
+}
