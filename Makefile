@@ -1,0 +1,20 @@
+# CORADD reproduction — build/test/bench entry points.
+
+N ?= 1
+
+.PHONY: build test race bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# bench runs every Benchmark* with -benchmem and emits BENCH_$(N).json
+# (see DESIGN.md §4 for the experiment index). Override the per-benchmark
+# budget with BENCHTIME, e.g. `make bench BENCHTIME=2x` or `=5s`.
+bench:
+	sh scripts/bench.sh $(N)

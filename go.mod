@@ -1,0 +1,3 @@
+module coradd
+
+go 1.24

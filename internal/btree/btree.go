@@ -117,14 +117,15 @@ func (t *Tree) upperBound(k []value.V) int {
 	})
 }
 
-// RangeRIDs returns the RIDs of all entries whose key-prefix lies in
-// [lo, hi] (inclusive, prefix semantics) and I/O stats for traversing the
-// tree: one seek + height page reads to find the first leaf, then the leaf
-// run is read sequentially.
-func (t *Tree) RangeRIDs(lo, hi []value.V) ([]int32, storage.IOStats) {
-	start := t.lowerBound(lo)
-	end := t.upperBound(hi)
-	var io storage.IOStats
+// Range locates the half-open leaf-position run [start,end) of entries
+// whose key-prefix lies in [lo, hi] (inclusive, prefix semantics) and
+// returns the I/O of the traversal: one seek + height page reads to find
+// the first leaf, then the leaf run read sequentially. Callers size result
+// buffers from end-start and materialize RIDs with AppendRIDs, paying one
+// descent per range.
+func (t *Tree) Range(lo, hi []value.V) (start, end int, io storage.IOStats) {
+	start = t.lowerBound(lo)
+	end = t.upperBound(hi)
 	io.Seeks = 1
 	io.PagesRead = t.height // root-to-leaf path
 	io.IndexPagesRead = t.height
@@ -133,11 +134,27 @@ func (t *Tree) RangeRIDs(lo, hi []value.V) ([]int32, storage.IOStats) {
 		io.PagesRead += leafSpan
 		io.IndexPagesRead += leafSpan
 	}
-	rids := make([]int32, 0, end-start)
+	return start, end, io
+}
+
+// AppendRIDs appends the RIDs of leaf positions [start,end) (from Range)
+// to dst and returns it.
+func (t *Tree) AppendRIDs(dst []int32, start, end int) []int32 {
 	for i := start; i < end; i++ {
-		rids = append(rids, t.entries[i].RID)
+		dst = append(dst, t.entries[i].RID)
 	}
-	return rids, io
+	return dst
+}
+
+// RangeRIDs is Range followed by AppendRIDs into a fresh exactly-sized
+// slice.
+func (t *Tree) RangeRIDs(lo, hi []value.V) ([]int32, storage.IOStats) {
+	start, end, io := t.Range(lo, hi)
+	n := end - start
+	if n < 0 {
+		n = 0
+	}
+	return t.AppendRIDs(make([]int32, 0, n), start, end), io
 }
 
 // LookupRIDs returns RIDs of entries whose key-prefix equals k exactly.

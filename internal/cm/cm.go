@@ -58,28 +58,93 @@ func Build(rel *storage.Relation, keyCols []int, keyWidths []value.V, clusterPag
 		keyBytes:              rel.Schema.SubsetBytes(keyCols),
 		numPages:              rel.NumPages(),
 	}
-	seen := make(map[string]bool)
-	var keyBuf []byte
+	// Rows are scanned in clustered order, so the clustered bucket is a
+	// simple division (hoisted out of the loop: PageOfRow recomputes the
+	// tuples-per-page quotient per call).
+	rowsPerBucket := rel.TuplesPerPage() * clusterPagesPerBucket
+	pc := newPairCollector(len(keyCols))
 	for i, row := range rel.Rows {
-		bucket := int32(rel.PageOfRow(i) / clusterPagesPerBucket)
-		key := make([]value.V, len(keyCols))
+		bucket := int32(i / rowsPerBucket)
 		for j, c := range keyCols {
-			key[j] = bucketValue(row[c], keyWidths[j])
+			pc.key[j] = bucketValue(row[c], keyWidths[j])
 		}
-		keyBuf = encodeKey(keyBuf[:0], key, bucket)
-		if seen[string(keyBuf)] {
-			continue
-		}
-		seen[string(keyBuf)] = true
-		m.pairs = append(m.pairs, pair{key: key, bucket: bucket})
+		pc.add(bucket)
 	}
-	sort.Slice(m.pairs, func(i, j int) bool {
-		c := value.CompareKeys(m.pairs[i].key, m.pairs[j].key)
+	m.pairs = pc.finish()
+	return m
+}
+
+// pairCollector accumulates distinct (bucketed key, clustered bucket)
+// pairs. The caller writes each candidate key into pc.key and calls add.
+// Consecutive repeats — the dominant case when the key correlates with the
+// clustered order, exactly what CMs exist for — skip the hash map via a
+// previous-pair run check. finish sorts by key then bucket; Build and
+// Derive share this so their pair sets stay bit-identical by construction.
+type pairCollector struct {
+	key             []value.V
+	seen            map[string]bool
+	keyBuf, prevBuf []byte
+	pairs           []pair
+}
+
+func newPairCollector(keyLen int) *pairCollector {
+	return &pairCollector{key: make([]value.V, keyLen), seen: make(map[string]bool)}
+}
+
+func (pc *pairCollector) add(bucket int32) {
+	pc.keyBuf = encodeKey(pc.keyBuf[:0], pc.key, bucket)
+	if string(pc.prevBuf) == string(pc.keyBuf) {
+		return
+	}
+	pc.prevBuf = append(pc.prevBuf[:0], pc.keyBuf...)
+	if pc.seen[string(pc.keyBuf)] {
+		return
+	}
+	pc.seen[string(pc.keyBuf)] = true
+	pc.pairs = append(pc.pairs, pair{key: append([]value.V(nil), pc.key...), bucket: bucket})
+}
+
+func (pc *pairCollector) finish() []pair {
+	sort.Slice(pc.pairs, func(i, j int) bool {
+		c := value.CompareKeys(pc.pairs[i].key, pc.pairs[j].key)
 		if c != 0 {
 			return c < 0
 		}
-		return m.pairs[i].bucket < m.pairs[j].bucket
+		return pc.pairs[i].bucket < pc.pairs[j].bucket
 	})
+	return pc.pairs
+}
+
+// Derive builds the CM for coarser bucket widths from an exact (all widths
+// 1) base CM without rescanning the relation: re-bucketing the base's
+// distinct (value, clustered-bucket) pairs yields exactly the pair set a
+// fresh Build over the rows would produce, because bucketValue(v, w) =
+// bucketValue(bucketValue(v, 1), w) and deduplication commutes with the
+// projection. The base typically holds orders of magnitude fewer pairs than
+// the relation has rows, which is what makes the CM Designer's width sweep
+// cheap.
+func Derive(base *CM, widths []value.V) *CM {
+	for _, w := range base.KeyWidths {
+		if w != 1 {
+			panic("cm: Derive requires an exact (width-1) base")
+		}
+	}
+	m := &CM{
+		KeyCols:               base.KeyCols,
+		KeyWidths:             widths,
+		ClusterPagesPerBucket: base.ClusterPagesPerBucket,
+		keyBytes:              base.keyBytes,
+		numPages:              base.numPages,
+	}
+	pc := newPairCollector(len(base.KeyCols))
+	for i := range base.pairs {
+		p := &base.pairs[i]
+		for j := range pc.key {
+			pc.key[j] = bucketValue(p.key[j], widths[j])
+		}
+		pc.add(p.bucket)
+	}
+	m.pairs = pc.finish()
 	return m
 }
 

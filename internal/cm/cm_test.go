@@ -193,3 +193,42 @@ func TestCoversSetSemantics(t *testing.T) {
 		t.Error("Covers should require exact set")
 	}
 }
+
+// TestDeriveMatchesBuild verifies the CM Designer's one-scan width sweep:
+// deriving a coarser bucketing from the exact CM must reproduce a fresh
+// Build bit for bit (same pairs, sizes and lookup results).
+func TestDeriveMatchesBuild(t *testing.T) {
+	rel := correlated(20000, 9)
+	for _, cols := range [][]int{rel.Schema.ColSet("b"), rel.Schema.ColSet("b", "c")} {
+		base := Build(rel, cols, onesFor(cols), 4)
+		for _, w := range []value.V{1, 2, 8, 64} {
+			widths := make([]value.V, len(cols))
+			for i := range widths {
+				widths[i] = w
+			}
+			built := Build(rel, cols, widths, 4)
+			derived := Derive(base, widths)
+			if built.NumPairs() != derived.NumPairs() {
+				t.Fatalf("cols=%v w=%d: %d pairs built vs %d derived", cols, w, built.NumPairs(), derived.NumPairs())
+			}
+			if built.Bytes() != derived.Bytes() {
+				t.Errorf("cols=%v w=%d: bytes %d vs %d", cols, w, built.Bytes(), derived.Bytes())
+			}
+			for i := range built.pairs {
+				if value.CompareKeys(built.pairs[i].key, derived.pairs[i].key) != 0 ||
+					built.pairs[i].bucket != derived.pairs[i].bucket {
+					t.Fatalf("cols=%v w=%d: pair %d differs: %v/%d vs %v/%d", cols, w, i,
+						built.pairs[i].key, built.pairs[i].bucket, derived.pairs[i].key, derived.pairs[i].bucket)
+				}
+			}
+		}
+	}
+}
+
+func onesFor(cols []int) []value.V {
+	ones := make([]value.V, len(cols))
+	for i := range ones {
+		ones[i] = 1
+	}
+	return ones
+}

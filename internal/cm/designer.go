@@ -6,6 +6,7 @@ import (
 	"coradd/internal/btree"
 	"coradd/internal/query"
 	"coradd/internal/storage"
+	"coradd/internal/value"
 )
 
 // DefaultSpaceLimit is the per-CM space budget: "1MB per CM in this paper"
@@ -55,8 +56,18 @@ func Design(rel *storage.Relation, q *query.Query, cfg DesignerConfig) *CM {
 	var best *CM
 	bestCost := seqScanCost(rel, cfg.Disk)
 	for _, keyCols := range cands {
+		// One relation scan per key set: build the exact CM, then derive
+		// every coarser width from its pairs (identical to a fresh Build).
+		ones := make([]value.V, len(keyCols))
+		for i := range ones {
+			ones[i] = 1
+		}
+		base := Build(rel, keyCols, ones, cfg.ClusterPagesPerBucket)
 		for _, widths := range widthGrid(len(keyCols), cfg.Widths) {
-			m := Build(rel, keyCols, widths, cfg.ClusterPagesPerBucket)
+			m := base
+			if !allOnes(widths) {
+				m = Derive(base, widths)
+			}
 			if m.Bytes() > cfg.SpaceLimit {
 				continue
 			}
@@ -68,6 +79,15 @@ func Design(rel *storage.Relation, q *query.Query, cfg DesignerConfig) *CM {
 		}
 	}
 	return best
+}
+
+func allOnes(widths []value.V) bool {
+	for _, w := range widths {
+		if w != 1 {
+			return false
+		}
+	}
+	return true
 }
 
 // candidateKeyCols enumerates composite key column sets of size 1..max over

@@ -1,7 +1,7 @@
 package costmodel
 
 import (
-	"sort"
+	"sync"
 
 	"coradd/internal/cm"
 	"coradd/internal/query"
@@ -32,8 +32,11 @@ type Aware struct {
 	// WithCM enables the CM path (CORADD always sets aside CM space, §5.4).
 	WithCM bool
 
-	// sortedSample caches the synopsis sorted by each clustered key.
-	sortedSample map[string][]value.Row
+	// mu guards the memo map: candidate pricing fans out across goroutines
+	// (feedback.BuildProblem), so cache access must be race-safe. Concurrent
+	// misses may compute the same entry twice; the value is deterministic,
+	// so last-write-wins is safe.
+	mu sync.Mutex
 	// estCache memoizes Estimate per (design identity, query name): the
 	// same designs are re-priced on every ILP-feedback iteration.
 	estCache map[string]cached
@@ -48,8 +51,7 @@ type cached struct {
 func NewAware(st *stats.Stats, disk storage.DiskParams) *Aware {
 	return &Aware{
 		St: st, Disk: disk, WithCM: true,
-		sortedSample: make(map[string][]value.Row),
-		estCache:     make(map[string]cached),
+		estCache: make(map[string]cached),
 	}
 }
 
@@ -59,11 +61,16 @@ func (m *Aware) Name() string { return "correlation-aware" }
 // Estimate implements Model.
 func (m *Aware) Estimate(d *MVDesign, q *query.Query) (float64, PathKind) {
 	ck := d.Key() + "|" + q.Name
+	m.mu.Lock()
 	if c, ok := m.estCache[ck]; ok {
+		m.mu.Unlock()
 		return c.cost, c.kind
 	}
+	m.mu.Unlock()
 	cost, kind := m.estimate(d, q)
+	m.mu.Lock()
 	m.estCache[ck] = cached{cost, kind}
+	m.mu.Unlock()
 	return cost, kind
 }
 
@@ -105,18 +112,23 @@ func (m *Aware) clusteredCost(d *MVDesign, q *query.Query, pages, height float64
 }
 
 // sampleFraction measures the fraction of synopsis rows matching all preds,
-// floored at half a row.
+// floored at half a row. Column positions are resolved once, not per row.
 func (m *Aware) sampleFraction(preds []*query.Predicate) float64 {
 	sample := m.St.Sample
 	if len(sample) == 0 {
 		return 1
 	}
 	s := m.St.Rel.Schema
+	var colBuf [8]int
+	cols := colBuf[:0]
+	for _, p := range preds {
+		cols = append(cols, s.MustCol(p.Col))
+	}
 	n := 0
 	for _, row := range sample {
 		ok := true
-		for _, p := range preds {
-			if !p.Matches(row[s.MustCol(p.Col)]) {
+		for i, p := range preds {
+			if !p.Matches(row[cols[i]]) {
 				ok = false
 				break
 			}
@@ -146,17 +158,18 @@ func (m *Aware) cmCost(d *MVDesign, q *query.Query, pages, height float64) (floa
 	if r == 0 {
 		return 0, false
 	}
-	s := m.St.Rel.Schema
 	bucketPages := float64(cm.DefaultClusterPagesPerBucket)
 	numBuckets := pages / bucketPages
 	if numBuckets < 1 {
 		numBuckets = 1
 	}
-	// Locate matching rows in clustered order, map rank → bucket.
+	// Locate matching rows in clustered order, map rank → bucket. The query
+	// is compiled against the base schema once and reused across designs.
+	cq := m.St.Compiled(q)
 	freq := make(map[int]int)
 	matched := 0
 	for i, row := range sorted {
-		if !q.MatchesRow(row, func(name string) int { return s.MustCol(name) }) {
+		if !cq.MatchesRow(row) {
 			continue
 		}
 		matched++
@@ -205,25 +218,10 @@ func estimateBuckets(freq map[int]int, sampleRows int, totalRows float64) float6
 	return stats.EstimateDistinctRaw(c.d, c.f1, c.f2, sampleRows, int(totalRows))
 }
 
-// sorted returns the synopsis sorted by key, cached per key.
+// sorted returns the synopsis sorted by key, shared through the statistics
+// cache (the same clustered keys recur across model instances).
 func (m *Aware) sorted(key []int) []value.Row {
-	ks := encodeKeyCols(key)
-	if s, ok := m.sortedSample[ks]; ok {
-		return s
-	}
-	s := make([]value.Row, len(m.St.Sample))
-	copy(s, m.St.Sample)
-	sort.SliceStable(s, func(i, j int) bool { return value.CompareRows(s[i], s[j], key) < 0 })
-	m.sortedSample[ks] = s
-	return s
-}
-
-func encodeKeyCols(cols []int) string {
-	b := make([]byte, 0, len(cols)*2)
-	for _, c := range cols {
-		b = append(b, byte(c), byte(c>>8))
-	}
-	return string(b)
+	return m.St.SortedSample(key)
 }
 
 func inf() float64 { return 1e30 }

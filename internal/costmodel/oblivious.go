@@ -1,6 +1,8 @@
 package costmodel
 
 import (
+	"sync"
+
 	"coradd/internal/btree"
 	"coradd/internal/query"
 	"coradd/internal/stats"
@@ -21,6 +23,8 @@ type Oblivious struct {
 	St   *stats.Stats
 	Disk storage.DiskParams
 
+	// mu guards estCache; see Aware.mu for the concurrency contract.
+	mu       sync.Mutex
 	estCache map[string]cached
 }
 
@@ -35,11 +39,16 @@ func (m *Oblivious) Name() string { return "correlation-oblivious" }
 // Estimate implements Model.
 func (m *Oblivious) Estimate(d *MVDesign, q *query.Query) (float64, PathKind) {
 	ck := d.Key() + "|" + q.Name
+	m.mu.Lock()
 	if c, ok := m.estCache[ck]; ok {
+		m.mu.Unlock()
 		return c.cost, c.kind
 	}
+	m.mu.Unlock()
 	cost, kind := m.estimate(d, q)
+	m.mu.Lock()
 	m.estCache[ck] = cached{cost, kind}
+	m.mu.Unlock()
 	return cost, kind
 }
 

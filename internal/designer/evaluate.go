@@ -3,11 +3,14 @@ package designer
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
 
 	"coradd/internal/btree"
 	"coradd/internal/cm"
 	"coradd/internal/costmodel"
 	"coradd/internal/exec"
+	"coradd/internal/par"
 	"coradd/internal/query"
 	"coradd/internal/schema"
 	"coradd/internal/storage"
@@ -41,21 +44,50 @@ type Evaluator struct {
 	Fact *storage.Relation
 	W    query.Workload
 	Disk storage.DiskParams
-	// CMConfig tunes the CM Designer for CORADD-style designs.
+	// CMConfig tunes the CM Designer for CORADD-style designs. Change it
+	// only on a fresh evaluator (or after Cache.Flush()): cached CM designs
+	// are keyed by structure, not config.
 	CMConfig cm.DesignerConfig
 	// Commercial supplies secondary-index choices for commercial designs.
 	Commercial *Commercial
+	// Cache reuses physical objects (projections, sorts, B+Trees, CMs, plan
+	// choices) across the designs of a budget sweep. Always non-nil after
+	// NewEvaluator; evaluators sharing one fact relation may share a cache.
+	Cache *ObjectCache
+	// Workers bounds the evaluation worker pool (0 = one per CPU).
+	Workers int
+
+	initOnce sync.Once
+	base     *exec.Object // shared base-table object, built once
 }
 
 // NewEvaluator builds an evaluator over the fact relation.
 func NewEvaluator(fact *storage.Relation, w query.Workload, disk storage.DiskParams) *Evaluator {
-	return &Evaluator{Fact: fact, W: w, Disk: disk, CMConfig: cm.DefaultDesignerConfig()}
+	return &Evaluator{
+		Fact: fact, W: w, Disk: disk,
+		CMConfig: cm.DefaultDesignerConfig(),
+		Cache:    NewObjectCache(),
+		base:     exec.NewObject(fact),
+	}
 }
 
-// Materialize deploys the design.
+// Materialize deploys the design. Physical structures are drawn from the
+// evaluator's cache: designs sharing an MV's structure (columns, clustered
+// key, secondary structures) share one physical object, so only the first
+// deployment pays for projection, sorting and index/CM construction.
 func (e *Evaluator) Materialize(d *Design) (*Materialized, error) {
+	// Support zero-value (non-NewEvaluator) construction race-free:
+	// concurrent Measure calls are an intended pattern.
+	e.initOnce.Do(func() {
+		if e.Cache == nil {
+			e.Cache = NewObjectCache()
+		}
+		if e.base == nil {
+			e.base = exec.NewObject(e.Fact)
+		}
+	})
 	m := &Materialized{}
-	m.Base = exec.NewObject(e.Fact)
+	m.Base = e.base
 	// Materialize chosen objects.
 	for _, md := range d.Chosen {
 		obj, err := e.materializeObject(d, md)
@@ -75,10 +107,25 @@ func (e *Evaluator) Materialize(d *Design) (*Materialized, error) {
 	m.Plan = make([]RoutedPlan, len(e.W))
 	for qi, q := range e.W {
 		obj := m.Base
+		objSig := "base"
 		if r := d.Routing[qi]; r >= 0 {
 			obj = m.Objects[r]
+			objSig = e.objectSig(d, d.Chosen[r])
 		}
-		spec, err := e.choosePlan(d, obj, q)
+		var planSig strings.Builder
+		planSig.WriteString(objSig)
+		planSig.WriteString("|plan:")
+		planSig.WriteString(q.Name)
+		// Plan choice depends on the disk model (exec.Best ranks by
+		// simulated seconds), so evaluators sharing a cache with different
+		// DiskParams must not share plan entries.
+		fmt.Fprintf(&planSig, "|disk:%g,%g", e.Disk.SeekCost, e.Disk.PageReadCost)
+		if d.Style == StyleCommercial {
+			planSig.WriteString("|oblivious")
+		}
+		spec, err := e.Cache.plan(planSig.String(), func() (exec.PlanSpec, error) {
+			return e.choosePlan(d, obj, q)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +134,62 @@ func (e *Evaluator) Materialize(d *Design) (*Materialized, error) {
 	return m, nil
 }
 
-// materializeObject builds the physical object for one chosen design.
+// servedQueries lists the workload indexes routed to md, in workload order
+// (matching by pointer, exactly like the pre-cache attach loop did).
+func servedQueries(d *Design, md *costmodel.MVDesign) []int {
+	var out []int
+	for qi := range d.Routing {
+		if r := d.Routing[qi]; r >= 0 && d.Chosen[r] == md {
+			out = append(out, qi)
+		}
+	}
+	return out
+}
+
+// relSig canonically identifies the projected relation of md: base column
+// set plus ordered cluster key.
+func relSig(md *costmodel.MVDesign) string {
+	var b strings.Builder
+	sigInts(&b, "cols:", md.Cols)
+	sigInts(&b, "key:", md.ClusterKey)
+	return b.String()
+}
+
+// objectSig canonically identifies the full physical object md deploys
+// under design d: the relation plus every secondary structure the style
+// attaches (CM key sets are determined by the served queries; commercial
+// index columns by the Commercial designer's choice; the PK index by the
+// fact-recluster flag).
+func (e *Evaluator) objectSig(d *Design, md *costmodel.MVDesign) string {
+	var b strings.Builder
+	b.WriteString(relSig(md))
+	if md.FactRecluster && len(md.PKCols) > 0 {
+		sigInts(&b, "pk:", md.PKCols)
+	}
+	switch d.Style {
+	case StyleCORADD:
+		names := make([]string, 0, 4)
+		for _, qi := range servedQueries(d, md) {
+			names = append(names, e.W[qi].Name)
+		}
+		sigStrings(&b, "cm:", names)
+	case StyleCommercial:
+		sigInts(&b, "bt:", e.commercialIndexCols(md))
+	}
+	return b.String()
+}
+
+// commercialIndexCols resolves the base-schema secondary-index columns a
+// commercial deployment builds on md.
+func (e *Evaluator) commercialIndexCols(md *costmodel.MVDesign) []int {
+	if e.Commercial != nil {
+		return e.Commercial.SecondaryIndexCols(md)
+	}
+	return predicatedNonLead(e.W, e.Fact.Schema, md)
+}
+
+// materializeObject builds (or fetches) the physical object for one chosen
+// design.
 func (e *Evaluator) materializeObject(d *Design, md *costmodel.MVDesign) (*exec.Object, error) {
 	newKey := make([]int, len(md.ClusterKey))
 	for i, c := range md.ClusterKey {
@@ -97,53 +199,78 @@ func (e *Evaluator) materializeObject(d *Design, md *costmodel.MVDesign) (*exec.
 		}
 		newKey[i] = pos
 	}
-	rel := e.Fact.Project(md.Name, md.Cols, newKey)
-	obj := exec.NewObject(rel)
-	if md.FactRecluster && len(md.PKCols) > 0 {
-		pkPos := make([]int, len(md.PKCols))
-		for i, c := range md.PKCols {
-			pkPos[i] = indexOf(md.Cols, c)
+	rSig := relSig(md)
+	return e.Cache.object(e.objectSig(d, md), func() (*exec.Object, error) {
+		rel := e.Cache.relation(rSig, func() *storage.Relation {
+			// Cached relations are shared by every structurally identical
+			// design, so they carry a structural name (columns + key), not
+			// the first requester's MV name.
+			name := "mv(" + e.Fact.Schema.ColNames(md.Cols) + ";key=" + e.Fact.Schema.ColNames(md.ClusterKey) + ")"
+			return e.Fact.Project(name, md.Cols, newKey)
+		})
+		obj := exec.NewObject(rel)
+		if md.FactRecluster && len(md.PKCols) > 0 {
+			pkPos := make([]int, len(md.PKCols))
+			for i, c := range md.PKCols {
+				pkPos[i] = indexOf(md.Cols, c)
+			}
+			var sig strings.Builder
+			sig.WriteString(rSig)
+			sigInts(&sig, "tree:", pkPos)
+			obj.PKIndex = e.Cache.tree(sig.String(), func() *btree.Tree {
+				return btree.BuildFromRelation(rel, pkPos)
+			})
 		}
-		obj.PKIndex = btree.BuildFromRelation(rel, pkPos)
-	}
-	switch d.Style {
-	case StyleCORADD:
-		// CM Designer: one CM per query the object serves (A-1.2), within
-		// the per-CM space limit, deduplicated by key columns.
-		for qi, q := range e.W {
-			if d.Routing[qi] < 0 || d.Chosen[d.Routing[qi]] != md {
-				continue
-			}
-			cmDesign := cm.Design(rel, q, e.CMConfig)
-			if cmDesign == nil {
-				continue
-			}
-			dup := false
-			for _, existing := range obj.CMs {
-				if existing.Covers(cmDesign.KeyCols) {
-					dup = true
-					break
+		switch d.Style {
+		case StyleCORADD:
+			// CM Designer: one CM per query the object serves (A-1.2), within
+			// the per-CM space limit, deduplicated by key columns. The
+			// designs are prefetched concurrently (each is an independent
+			// exhaustive search), then attached sequentially in workload
+			// order so dedup is deterministic.
+			served := servedQueries(d, md)
+			designs := make([]*cm.CM, len(served))
+			par.ForEach(len(served), e.Workers, func(i int) {
+				q := e.W[served[i]]
+				var sig strings.Builder
+				sig.WriteString(rSig)
+				sig.WriteString("|cmq:")
+				sig.WriteString(q.Name)
+				designs[i] = e.Cache.cmDesign(sig.String(), func() *cm.CM {
+					return cm.Design(rel, q, e.CMConfig)
+				})
+			})
+			for _, cmDesign := range designs {
+				if cmDesign == nil {
+					continue
+				}
+				dup := false
+				for _, existing := range obj.CMs {
+					if existing.Covers(cmDesign.KeyCols) {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					obj.AddCM(cmDesign)
 				}
 			}
-			if !dup {
-				obj.AddCM(cmDesign)
+		case StyleCommercial:
+			for _, c := range e.commercialIndexCols(md) {
+				pos := indexOf(md.Cols, c)
+				if pos >= 0 {
+					var sig strings.Builder
+					sig.WriteString(rSig)
+					sigInts(&sig, "tree:", []int{pos})
+					tree := e.Cache.tree(sig.String(), func() *btree.Tree {
+						return btree.BuildFromRelation(rel, []int{pos})
+					})
+					obj.BTrees = append(obj.BTrees, &exec.SecondaryIndex{Cols: []int{pos}, Tree: tree})
+				}
 			}
 		}
-	case StyleCommercial:
-		var idxCols []int // base-schema column positions
-		if e.Commercial != nil {
-			idxCols = e.Commercial.SecondaryIndexCols(md)
-		} else {
-			idxCols = predicatedNonLead(e.W, e.Fact.Schema, md)
-		}
-		for _, c := range idxCols {
-			pos := indexOf(md.Cols, c)
-			if pos >= 0 {
-				obj.AddBTree([]int{pos})
-			}
-		}
-	}
-	return obj, nil
+		return obj, nil
+	})
 }
 
 // choosePlan picks the plan the deploying tool would run. CORADD rewrites
@@ -226,20 +353,29 @@ type RunResult struct {
 }
 
 // Run executes every workload query through the materialized design and
-// returns simulated runtimes.
+// returns simulated runtimes. Queries execute concurrently on the worker
+// pool — plans only read the shared objects — while the weighted total is
+// accumulated afterwards in workload order, so the result is bit-identical
+// to a sequential run.
 func (e *Evaluator) Run(m *Materialized) (*RunResult, error) {
 	res := &RunResult{
 		PerQuery: make([]float64, len(e.W)),
 		Sums:     make([]int64, len(e.W)),
 	}
-	for qi, q := range e.W {
+	err := par.ForEachErr(len(e.W), e.Workers, func(qi int) error {
 		rp := m.Plan[qi]
-		r, err := exec.Execute(rp.Object, q, rp.Spec)
+		r, err := exec.Execute(rp.Object, e.W[qi], rp.Spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res.PerQuery[qi] = r.Seconds(e.Disk)
 		res.Sums[qi] = r.Sum
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for qi, q := range e.W {
 		res.Total += q.EffectiveWeight() * res.PerQuery[qi]
 	}
 	return res, nil

@@ -1,0 +1,167 @@
+package designer
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"coradd/internal/btree"
+	"coradd/internal/cm"
+	"coradd/internal/exec"
+	"coradd/internal/storage"
+)
+
+// ObjectCache reuses physical design artifacts across the many designs a
+// budget sweep evaluates. The designs CORADD, Commercial and Naive pick at
+// neighbouring budgets overlap heavily — the same MV (same columns and
+// clustered key) recurs with different names across budget points and
+// designers — yet Materialize used to rebuild the projection, the stable
+// sort, every B+Tree and every correlation map per Measure call. The cache
+// keys each artifact by a canonical structural signature, so a rebuild
+// happens only the first time a structure is seen:
+//
+//   - relations by (columns, cluster key): projection + stable sort;
+//   - correlation maps by (relation signature, query): the CM Designer's
+//     whole width/key-set search;
+//   - dense B+Trees by (relation signature, indexed columns);
+//   - whole objects by (relation signature, style-specific structures,
+//     PK-index columns): assembly of the above.
+//
+// All methods are safe for concurrent use; the parallel evaluator fans
+// Measure calls across goroutines. Concurrent misses on the same key may
+// build the same artifact twice — the build is deterministic, so whichever
+// write lands last is indistinguishable from the other. Cached artifacts
+// are shared and must be treated as immutable by callers.
+type ObjectCache struct {
+	mu    sync.Mutex
+	rels  map[string]*storage.Relation
+	objs  map[string]*exec.Object
+	cms   map[string]*cm.CM // nil values recorded: "no CM helps" is a result too
+	trees map[string]*btree.Tree
+	plans map[string]exec.PlanSpec
+
+	hits, misses int
+}
+
+// NewObjectCache returns an empty cache.
+func NewObjectCache() *ObjectCache {
+	return &ObjectCache{
+		rels:  make(map[string]*storage.Relation),
+		objs:  make(map[string]*exec.Object),
+		cms:   make(map[string]*cm.CM),
+		trees: make(map[string]*btree.Tree),
+		plans: make(map[string]exec.PlanSpec),
+	}
+}
+
+// Stats reports cache effectiveness: total hits and misses across all four
+// artifact kinds.
+func (c *ObjectCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Flush drops every cached artifact. Use when the underlying fact relation
+// changes (the cache never observes mutation itself).
+func (c *ObjectCache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rels = make(map[string]*storage.Relation)
+	c.objs = make(map[string]*exec.Object)
+	c.cms = make(map[string]*cm.CM)
+	c.trees = make(map[string]*btree.Tree)
+	c.plans = make(map[string]exec.PlanSpec)
+}
+
+// memoGet is the one lock/hit/miss/build/store protocol behind every
+// accessor: m must be a map field of c. build returning ok=false means
+// "do not cache" (used for fallible builds); concurrent misses may build
+// twice, deterministically.
+func memoGet[V any](c *ObjectCache, m map[string]V, sig string, build func() (V, bool)) V {
+	c.mu.Lock()
+	if v, ok := m[sig]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return v
+	}
+	c.misses++
+	c.mu.Unlock()
+	v, ok := build()
+	if !ok {
+		return v
+	}
+	c.mu.Lock()
+	m[sig] = v
+	c.mu.Unlock()
+	return v
+}
+
+// always adapts an infallible build for memoGet.
+func always[V any](build func() V) func() (V, bool) {
+	return func() (V, bool) { return build(), true }
+}
+
+// relation returns the cached projection for sig, building it on miss.
+func (c *ObjectCache) relation(sig string, build func() *storage.Relation) *storage.Relation {
+	return memoGet(c, c.rels, sig, always(build))
+}
+
+// object returns the cached assembled object for sig, building on miss.
+// Failed builds are not cached.
+func (c *ObjectCache) object(sig string, build func() (*exec.Object, error)) (*exec.Object, error) {
+	var err error
+	o := memoGet(c, c.objs, sig, func() (*exec.Object, bool) {
+		var o *exec.Object
+		o, err = build()
+		return o, err == nil
+	})
+	return o, err
+}
+
+// cmDesign returns the cached CM Designer outcome for sig, running the
+// designer on miss. A nil CM ("no CM helps") is a cached result too.
+func (c *ObjectCache) cmDesign(sig string, design func() *cm.CM) *cm.CM {
+	return memoGet(c, c.cms, sig, always(design))
+}
+
+// plan returns the cached plan choice for sig, choosing on miss. Only
+// successful choices are cached; choose re-runs after an error.
+func (c *ObjectCache) plan(sig string, choose func() (exec.PlanSpec, error)) (exec.PlanSpec, error) {
+	var err error
+	s := memoGet(c, c.plans, sig, func() (exec.PlanSpec, bool) {
+		var s exec.PlanSpec
+		s, err = choose()
+		return s, err == nil
+	})
+	return s, err
+}
+
+// tree returns the cached dense B+Tree for sig, building on miss.
+func (c *ObjectCache) tree(sig string, build func() *btree.Tree) *btree.Tree {
+	return memoGet(c, c.trees, sig, always(build))
+}
+
+// sigInts appends label plus a comma-separated int list to b.
+func sigInts(b *strings.Builder, label string, xs []int) {
+	b.WriteByte('|')
+	b.WriteString(label)
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+}
+
+// sigStrings appends label plus a comma-separated string list to b.
+func sigStrings(b *strings.Builder, label string, xs []string) {
+	b.WriteByte('|')
+	b.WriteString(label)
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(x)
+	}
+}

@@ -1,0 +1,199 @@
+package designer
+
+import (
+	"testing"
+
+	"coradd/internal/costmodel"
+	"coradd/internal/feedback"
+	"coradd/internal/par"
+	"coradd/internal/ssb"
+)
+
+// cacheFixture builds a manual CORADD design over a small SSB instance and
+// a fresh evaluator.
+func cacheFixture(t *testing.T, rows int) (*Evaluator, *Design, Common) {
+	t.Helper()
+	rel, _, c := smallSSB(t, rows)
+	all := make([]int, len(rel.Schema.Columns))
+	for i := range all {
+		all[i] = i
+	}
+	md := &costmodel.MVDesign{
+		Name: "mv_cache", Cols: all,
+		ClusterKey: []int{rel.Schema.MustCol(ssb.ColYear)},
+		Queries:    []int{0, 1, 2},
+	}
+	d := manualDesign(t, c, StyleCORADD, md)
+	for qi := range c.W {
+		if qi > 2 {
+			d.Routing[qi] = -1
+		}
+	}
+	return NewEvaluator(rel, c.W, c.Disk), d, c
+}
+
+func TestMaterializationCacheHits(t *testing.T) {
+	ev, d, _ := cacheFixture(t, 20000)
+	m1, err := ev.Materialize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missesCold := ev.Cache.Stats()
+	if missesCold == 0 {
+		t.Fatal("cold materialization reported no cache misses")
+	}
+	m2, err := ev.Materialize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Objects[0] != m2.Objects[0] {
+		t.Error("re-materializing the same design rebuilt the physical object")
+	}
+	if m1.Base != m2.Base {
+		t.Error("base object not shared across materializations")
+	}
+	if m1.Bytes != m2.Bytes {
+		t.Errorf("cached materialization sized %d, first run %d", m2.Bytes, m1.Bytes)
+	}
+	_, missesWarm := ev.Cache.Stats()
+	if missesWarm != missesCold {
+		t.Errorf("warm materialization missed the cache (%d → %d misses)", missesCold, missesWarm)
+	}
+	hits, _ := ev.Cache.Stats()
+	if hits == 0 {
+		t.Error("warm materialization recorded no hits")
+	}
+}
+
+func TestMaterializationCacheKeysOnStructure(t *testing.T) {
+	ev, d, c := cacheFixture(t, 20000)
+	m1, err := ev.Materialize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same columns, different clustered key → different physical object.
+	md2 := &costmodel.MVDesign{
+		Name: "mv_cache", Cols: d.Chosen[0].Cols,
+		ClusterKey: []int{ev.Fact.Schema.MustCol(ssb.ColDiscount)},
+		Queries:    d.Chosen[0].Queries,
+	}
+	d2 := manualDesign(t, c, StyleCORADD, md2)
+	copy(d2.Routing, d.Routing)
+	m2, err := ev.Materialize(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Objects[0] == m2.Objects[0] {
+		t.Error("designs with different cluster keys shared one object")
+	}
+
+	// Same structure, different routed-query set → different CM layout, so
+	// a different object (the signature covers attached structures).
+	d3 := manualDesign(t, c, StyleCORADD, d.Chosen[0])
+	for qi := range c.W {
+		if qi != 0 {
+			d3.Routing[qi] = -1
+		}
+	}
+	m3, err := ev.Materialize(d3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Objects[0] == m3.Objects[0] {
+		t.Error("objects with different served-query sets (different CM sets) were shared")
+	}
+
+	// A renamed but structurally identical design still hits.
+	md4 := *d.Chosen[0]
+	md4.Name = "renamed"
+	d4 := manualDesign(t, c, StyleCORADD, &md4)
+	copy(d4.Routing, d.Routing)
+	m4, err := ev.Materialize(d4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Objects[0] != m4.Objects[0] {
+		t.Error("renaming a structurally identical design defeated the cache")
+	}
+}
+
+func TestMaterializationCacheFlushInvalidates(t *testing.T) {
+	ev, d, _ := cacheFixture(t, 20000)
+	m1, err := ev.Materialize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Cache.Flush()
+	m2, err := ev.Materialize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Objects[0] == m2.Objects[0] {
+		t.Error("Flush did not invalidate cached objects")
+	}
+	// The rebuilt object must be structurally identical.
+	if m1.Bytes != m2.Bytes {
+		t.Errorf("rebuild sized %d, original %d", m2.Bytes, m1.Bytes)
+	}
+	if len(m1.Objects[0].CMs) != len(m2.Objects[0].CMs) {
+		t.Errorf("rebuild attached %d CMs, original %d", len(m2.Objects[0].CMs), len(m1.Objects[0].CMs))
+	}
+}
+
+// TestParallelEvaluationDeterministic measures a mix of designs twice —
+// once sequentially (Workers=1, cold cache) and once concurrently across
+// designs AND queries on a shared warm cache — and requires bit-identical
+// results. Run under -race this also proves cache and executor access is
+// race-free.
+func TestParallelEvaluationDeterministic(t *testing.T) {
+	rel, _, c := smallSSB(t, 30000)
+	coradd := NewCORADD(c, smallCandCfg(), feedback.Config{MaxIters: -1})
+	var designs []*Design
+	for _, mult := range []int64{1, 2, 4} {
+		d, err := coradd.Design(rel.HeapBytes() * mult)
+		if err != nil {
+			t.Fatal(err)
+		}
+		designs = append(designs, d)
+	}
+
+	seqEv := NewEvaluator(rel, c.W, c.Disk)
+	seqEv.Workers = 1
+	seq := make([]*RunResult, len(designs))
+	for i, d := range designs {
+		r, err := seqEv.Measure(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[i] = r
+	}
+
+	parEv := NewEvaluator(rel, c.W, c.Disk)
+	parResults := make([]*RunResult, len(designs))
+	errs := make([]error, len(designs))
+	for trial := 0; trial < 2; trial++ { // second trial exercises the warm cache
+		par.ForEach(len(designs), 0, func(i int) {
+			parResults[i], errs[i] = parEv.Measure(designs[i])
+		})
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("design %d: %v", i, err)
+			}
+			if parResults[i].Total != seq[i].Total {
+				t.Errorf("trial %d design %d: parallel total %v != sequential %v",
+					trial, i, parResults[i].Total, seq[i].Total)
+			}
+			for qi := range c.W {
+				if parResults[i].Sums[qi] != seq[i].Sums[qi] {
+					t.Errorf("trial %d design %d %s: sum %d != %d",
+						trial, i, c.W[qi].Name, parResults[i].Sums[qi], seq[i].Sums[qi])
+				}
+				if parResults[i].PerQuery[qi] != seq[i].PerQuery[qi] {
+					t.Errorf("trial %d design %d %s: seconds %v != %v",
+						trial, i, c.W[qi].Name, parResults[i].PerQuery[qi], seq[i].PerQuery[qi])
+				}
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ package exec
 
 import (
 	"fmt"
+	"slices"
 
 	"coradd/internal/btree"
 	"coradd/internal/cm"
@@ -44,10 +45,19 @@ type Object struct {
 	// PKIndex, when non-nil, is the extra primary-key secondary index a
 	// re-clustered fact table must carry (§4.3); counted in size only.
 	PKIndex *btree.Tree
-	// visit, when non-nil, is called for every matching row a plan
-	// produces; ExecuteGrouped installs it to build per-group aggregates
-	// without duplicating the plan machinery.
-	visit func(value.Row)
+	// compiled caches position-bound queries per *query.Query. Objects are
+	// shared across goroutines by the designer's materialization cache, so
+	// the cache must be safe for concurrent use (and plans must never
+	// mutate the object — per-execution state like ExecuteGrouped's visit
+	// hook travels as a parameter instead).
+	compiled query.CompileCache
+}
+
+// compile returns q bound to this object's schema, compiling once per
+// (query, object) pair. Executing the same query through several plans
+// (exec.Best) or across repeated measurements reuses the binding.
+func (o *Object) compile(q *query.Query) *query.Compiled {
+	return o.compiled.Get(q, o.Rel.Schema.Col)
 }
 
 // NewObject wraps rel, computing the clustered height.
@@ -156,24 +166,31 @@ func (r Result) Seconds(p storage.DiskParams) float64 { return r.IO.Seconds(p) }
 
 // Execute runs q on o with the chosen plan. The object must cover q.
 func Execute(o *Object, q *query.Query, spec PlanSpec) (Result, error) {
+	return execute(o, q, spec, nil)
+}
+
+// execute is Execute with an optional per-matching-row visit hook
+// (ExecuteGrouped's aggregation). The hook is per-call state — objects are
+// shared across goroutines and must never be mutated by a plan.
+func execute(o *Object, q *query.Query, spec PlanSpec, visit func(value.Row)) (Result, error) {
 	if !o.Covers(q) {
 		return Result{}, fmt.Errorf("exec: object %s does not cover query %s", o.Rel.Name, q.Name)
 	}
 	switch spec.Kind {
 	case SeqScan:
-		return execSeqScan(o, q), nil
+		return execSeqScan(o, q, visit), nil
 	case ClusteredScan:
-		return execClusteredScan(o, q), nil
+		return execClusteredScan(o, q, visit), nil
 	case SecondaryScan:
 		if spec.Index < 0 || spec.Index >= len(o.BTrees) {
 			return Result{}, fmt.Errorf("exec: no secondary index %d on %s", spec.Index, o.Rel.Name)
 		}
-		return execSecondaryScan(o, q, o.BTrees[spec.Index]), nil
+		return execSecondaryScan(o, q, o.BTrees[spec.Index], visit), nil
 	case CMScan:
 		if spec.Index < 0 || spec.Index >= len(o.CMs) {
 			return Result{}, fmt.Errorf("exec: no CM %d on %s", spec.Index, o.Rel.Name)
 		}
-		return execCMScan(o, q, o.CMs[spec.Index]), nil
+		return execCMScan(o, q, o.CMs[spec.Index], visit), nil
 	default:
 		return Result{}, fmt.Errorf("exec: unknown plan kind %d", spec.Kind)
 	}
@@ -215,14 +232,15 @@ func Plans(o *Object, q *query.Query) []PlanSpec {
 // model an oracle optimizer.
 func Best(o *Object, q *query.Query, disk storage.DiskParams) (Result, error) {
 	var best Result
+	bestSec := 0.0
 	found := false
 	for _, spec := range Plans(o, q) {
 		r, err := Execute(o, q, spec)
 		if err != nil {
 			return Result{}, err
 		}
-		if !found || r.Seconds(disk) < best.Seconds(disk) {
-			best = r
+		if sec := r.Seconds(disk); !found || sec < bestSec {
+			best, bestSec = r, sec
 			found = true
 		}
 	}
@@ -232,38 +250,43 @@ func Best(o *Object, q *query.Query, disk storage.DiskParams) (Result, error) {
 	return best, nil
 }
 
-// sumRange accumulates the aggregate and match count over rows [lo,hi).
-func sumRange(o *Object, q *query.Query, lo, hi int, col func(string) int, agg int) (sum int64, rows int) {
+// sumRange accumulates the aggregate and match count over rows [lo,hi)
+// using the position-bound predicates of cq. This is the innermost loop of
+// every plan; it runs without name resolution or closure dispatch.
+func sumRange(o *Object, cq *query.Compiled, lo, hi int, visit func(value.Row)) (sum int64, rows int) {
+	heap := o.Rel.Rows
+	agg := cq.Agg
+	if visit == nil && len(cq.Preds) == 1 && agg >= 0 {
+		// Fast path for the common single-predicate aggregate: no per-row
+		// visit hook, one bound predicate, direct accumulation.
+		p := &cq.Preds[0]
+		c := p.Col
+		for i := lo; i < hi; i++ {
+			row := heap[i]
+			if p.Matches(row[c]) {
+				rows++
+				sum += int64(row[agg])
+			}
+		}
+		return sum, rows
+	}
 	for i := lo; i < hi; i++ {
-		row := o.Rel.Rows[i]
-		if q.MatchesRow(row, col) {
+		row := heap[i]
+		if cq.MatchesRow(row) {
 			rows++
 			if agg >= 0 {
 				sum += int64(row[agg])
 			}
-			if o.visit != nil {
-				o.visit(row)
+			if visit != nil {
+				visit(row)
 			}
 		}
 	}
 	return sum, rows
 }
 
-func colFn(o *Object) func(string) int {
-	s := o.Rel.Schema
-	return func(name string) int { return s.MustCol(name) }
-}
-
-func aggCol(o *Object, q *query.Query) int {
-	if q.AggCol == "" {
-		return -1
-	}
-	return o.Rel.Schema.MustCol(q.AggCol)
-}
-
-func execSeqScan(o *Object, q *query.Query) Result {
-	col := colFn(o)
-	sum, rows := sumRange(o, q, 0, len(o.Rel.Rows), col, aggCol(o, q))
+func execSeqScan(o *Object, q *query.Query, visit func(value.Row)) Result {
+	sum, rows := sumRange(o, o.compile(q), 0, len(o.Rel.Rows), visit)
 	return Result{
 		Sum:  sum,
 		Rows: rows,
@@ -370,15 +393,14 @@ func chargeFragments(o *Object, frags [][2]int, io *storage.IOStats) {
 	}
 }
 
-func execClusteredScan(o *Object, q *query.Query) Result {
+func execClusteredScan(o *Object, q *query.Query, visit func(value.Row)) Result {
 	runs := clusteredRuns(o, q)
-	col := colFn(o)
-	agg := aggCol(o, q)
+	cq := o.compile(q)
 	var res Result
 	res.Plan = PlanSpec{Kind: ClusteredScan}
 	intervals := make([][2]int, 0, len(runs))
 	for _, run := range runs {
-		s, n := sumRange(o, q, run.lo, run.hi, col, agg)
+		s, n := sumRange(o, cq, run.lo, run.hi, visit)
 		res.Sum += s
 		res.Rows += n
 		if run.hi > run.lo {
@@ -391,26 +413,36 @@ func execClusteredScan(o *Object, q *query.Query) Result {
 	return res
 }
 
-func execSecondaryScan(o *Object, q *query.Query, idx *SecondaryIndex) Result {
+func execSecondaryScan(o *Object, q *query.Query, idx *SecondaryIndex, visit func(value.Row)) Result {
 	lead := o.Rel.Schema.Columns[idx.Cols[0]].Name
 	p := q.Predicate(lead)
 	var res Result
 	res.Plan = PlanSpec{Kind: SecondaryScan}
 	var rids []int32
-	collect := func(lo, hi value.V) {
-		r, io := idx.Tree.RangeRIDs([]value.V{lo}, []value.V{hi})
-		rids = append(rids, r...)
-		res.IO.Add(io)
-	}
 	if p.Op == query.In {
-		for _, v := range p.Set {
-			collect(v, v)
+		// One descent per IN value: locate every leaf run first, size the
+		// RID buffer exactly from the match counts, then fill it — no
+		// per-value allocation or regrowth.
+		type leafRun struct{ start, end int }
+		runs := make([]leafRun, len(p.Set))
+		total := 0
+		for i, v := range p.Set {
+			start, end, io := idx.Tree.Range([]value.V{v}, []value.V{v})
+			runs[i] = leafRun{start, end}
+			total += end - start
+			res.IO.Add(io)
+		}
+		rids = make([]int32, 0, total)
+		for _, r := range runs {
+			rids = idx.Tree.AppendRIDs(rids, r.start, r.end)
 		}
 	} else {
-		collect(p.Lo, p.Hi)
+		r, io := idx.Tree.RangeRIDs([]value.V{p.Lo}, []value.V{p.Hi})
+		rids = r
+		res.IO.Add(io)
 	}
 	// Sorted sweep: sort RIDs, derive touched pages, merge into fragments.
-	sortInt32(rids)
+	slices.Sort(rids)
 	intervals := make([][2]int, 0, len(rids))
 	for _, rid := range rids {
 		pg := o.Rel.PageOfRow(int(rid))
@@ -426,8 +458,7 @@ func execSecondaryScan(o *Object, q *query.Query, idx *SecondaryIndex) Result {
 	chargeFragments(o, frags, &res.IO)
 	// Evaluate over the fragment pages (the plan reads whole pages; all
 	// residual predicates are applied there).
-	col := colFn(o)
-	agg := aggCol(o, q)
+	cq := o.compile(q)
 	tpp := o.Rel.TuplesPerPage()
 	for _, f := range frags {
 		lo := f[0] * tpp
@@ -435,14 +466,14 @@ func execSecondaryScan(o *Object, q *query.Query, idx *SecondaryIndex) Result {
 		if hi > len(o.Rel.Rows) {
 			hi = len(o.Rel.Rows)
 		}
-		s, n := sumRange(o, q, lo, hi, col, agg)
+		s, n := sumRange(o, cq, lo, hi, visit)
 		res.Sum += s
 		res.Rows += n
 	}
 	return res
 }
 
-func execCMScan(o *Object, q *query.Query, m *cm.CM) Result {
+func execCMScan(o *Object, q *query.Query, m *cm.CM, visit func(value.Row)) Result {
 	preds := make([]*query.Predicate, len(m.KeyCols))
 	for i, c := range m.KeyCols {
 		preds[i] = q.Predicate(o.Rel.Schema.Columns[c].Name)
@@ -457,8 +488,7 @@ func execCMScan(o *Object, q *query.Query, m *cm.CM) Result {
 	frags := pageFragments(ranges)
 	res.Fragments, res.TouchedIntervals = len(frags), len(ranges)
 	chargeFragments(o, frags, &res.IO)
-	col := colFn(o)
-	agg := aggCol(o, q)
+	cq := o.compile(q)
 	tpp := o.Rel.TuplesPerPage()
 	for _, f := range frags {
 		lo := f[0] * tpp
@@ -466,50 +496,9 @@ func execCMScan(o *Object, q *query.Query, m *cm.CM) Result {
 		if hi > len(o.Rel.Rows) {
 			hi = len(o.Rel.Rows)
 		}
-		s, n := sumRange(o, q, lo, hi, col, agg)
+		s, n := sumRange(o, cq, lo, hi, visit)
 		res.Sum += s
 		res.Rows += n
 	}
 	return res
-}
-
-func sortInt32(a []int32) {
-	// insertion sort for tiny slices, otherwise stdlib via int conversion
-	if len(a) < 32 {
-		for i := 1; i < len(a); i++ {
-			for j := i; j > 0 && a[j] < a[j-1]; j-- {
-				a[j], a[j-1] = a[j-1], a[j]
-			}
-		}
-		return
-	}
-	quickInt32(a)
-}
-
-func quickInt32(a []int32) {
-	if len(a) < 16 {
-		for i := 1; i < len(a); i++ {
-			for j := i; j > 0 && a[j] < a[j-1]; j-- {
-				a[j], a[j-1] = a[j-1], a[j]
-			}
-		}
-		return
-	}
-	pivot := a[len(a)/2]
-	lo, hi := 0, len(a)-1
-	for lo <= hi {
-		for a[lo] < pivot {
-			lo++
-		}
-		for a[hi] > pivot {
-			hi--
-		}
-		if lo <= hi {
-			a[lo], a[hi] = a[hi], a[lo]
-			lo++
-			hi--
-		}
-	}
-	quickInt32(a[:hi+1])
-	quickInt32(a[lo:])
 }

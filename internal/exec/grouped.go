@@ -38,10 +38,16 @@ func ExecuteGrouped(o *Object, q *query.Query, spec PlanSpec, groupBy []string) 
 		}
 		cols[i] = c
 	}
+	// Col, not MustCol: a missing aggregate column is reported as a
+	// coverage error by execute() below, never reached by the hook.
+	agg := -1
+	if q.AggCol != "" {
+		agg = o.Rel.Schema.Col(q.AggCol)
+	}
 	groups := make(map[string]*GroupCell)
-	prev := o.visit
-	o.visit = func(row value.Row) {
-		var kb []byte
+	var kb []byte
+	visit := func(row value.Row) {
+		kb = kb[:0]
 		for _, c := range cols {
 			v := row[c]
 			for s := 0; s < 64; s += 8 {
@@ -54,13 +60,12 @@ func ExecuteGrouped(o *Object, q *query.Query, spec PlanSpec, groupBy []string) 
 			groups[string(kb)] = cell
 		}
 		cell.Rows++
-		if q.AggCol != "" {
-			cell.Sum += int64(row[o.Rel.Schema.MustCol(q.AggCol)])
+		if agg >= 0 {
+			cell.Sum += int64(row[agg])
 		}
 	}
-	defer func() { o.visit = prev }()
 
-	r, err := Execute(o, q, spec)
+	r, err := execute(o, q, spec, visit)
 	if err != nil {
 		return nil, err
 	}

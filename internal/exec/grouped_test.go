@@ -102,14 +102,25 @@ func TestGroupedUnknownColumn(t *testing.T) {
 	}
 }
 
-func TestGroupedVisitHookRestored(t *testing.T) {
+func TestGroupedLeavesObjectUntouched(t *testing.T) {
+	// The visit hook travels as per-call state (objects are shared across
+	// designs and goroutines), so a grouped execution must not perturb a
+	// later plain execution on the same object.
 	rel := testRelation(1000, []string{"a"}, 35)
 	o := NewObject(rel)
 	q := &query.Query{Name: "g", Fact: "t", Predicates: []query.Predicate{query.NewEq("a", 1)}, AggCol: "d"}
+	before, err := Execute(o, q, PlanSpec{Kind: SeqScan})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := ExecuteGrouped(o, q, PlanSpec{Kind: SeqScan}, []string{"b"}); err != nil {
 		t.Fatal(err)
 	}
-	if o.visit != nil {
-		t.Error("visit hook leaked after grouped execution")
+	after, err := Execute(o, q, PlanSpec{Kind: SeqScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Errorf("plain execution changed after grouped run: %+v vs %+v", before, after)
 	}
 }

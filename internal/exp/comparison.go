@@ -3,6 +3,7 @@ package exp
 import (
 	"coradd/internal/apb"
 	"coradd/internal/designer"
+	"coradd/internal/par"
 	"coradd/internal/stats"
 	"coradd/internal/storage"
 )
@@ -60,7 +61,12 @@ func SSBComparison(env *Env) ([]ComparisonPoint, *Table, error) {
 	return pts, t, nil
 }
 
-// runComparison executes the designer bake-off on env.
+// runComparison executes the designer bake-off on env: the designers run
+// sequentially per budget (they memoize into shared per-designer state),
+// then every produced design is measured concurrently on the worker pool —
+// measurement only reads the designs and the evaluator's race-safe
+// materialization cache. The table is assembled in budget order afterwards,
+// so its bytes are identical to a fully sequential run.
 func runComparison(env *Env, withNaive bool) ([]ComparisonPoint, *Table, error) {
 	coradd := newCoradd(env, env.Scale.FB.MaxIters)
 	commercial := designer.NewCommercial(env.Common, env.Scale.Cand)
@@ -68,7 +74,7 @@ func runComparison(env *Env, withNaive bool) ([]ComparisonPoint, *Table, error) 
 	if withNaive {
 		naive = designer.NewNaive(env.Common, env.Scale.Cand)
 	}
-	ev := designer.NewEvaluator(env.Rel, env.W, env.Common.Disk)
+	ev := env.Evaluator()
 	ev.Commercial = commercial
 
 	header := []string{"budget_MB", "CORADD_sec", "CORADD_model", "Commercial_sec", "Commercial_model"}
@@ -78,44 +84,77 @@ func runComparison(env *Env, withNaive bool) ([]ComparisonPoint, *Table, error) 
 	header = append(header, "speedup")
 	t := &Table{Header: header}
 
-	var pts []ComparisonPoint
-	for _, budget := range env.Budgets() {
-		var p ComparisonPoint
-		p.Budget = budget
-
+	budgets := env.Budgets()
+	// Design phase: every designer at every budget.
+	type budgetDesigns struct {
+		dc, dm, dn *designer.Design
+	}
+	runs := make([]budgetDesigns, len(budgets))
+	for i, budget := range budgets {
 		dc, err := coradd.Design(budget)
 		if err != nil {
 			return nil, nil, err
 		}
-		p.CORADDModel = dc.TotalExpected(env.W)
-		rc, err := ev.Measure(dc)
-		if err != nil {
-			return nil, nil, err
-		}
-		p.CORADD = rc.Total
-
 		dm, err := commercial.Design(budget)
 		if err != nil {
 			return nil, nil, err
 		}
-		p.CommercialModel = dm.TotalExpected(env.W)
-		rm, err := ev.Measure(dm)
-		if err != nil {
-			return nil, nil, err
-		}
-		p.Commercial = rm.Total
-
-		row := []string{mb(budget), f3(p.CORADD), f3(p.CORADDModel), f3(p.Commercial), f3(p.CommercialModel)}
+		runs[i] = budgetDesigns{dc: dc, dm: dm}
 		if withNaive {
 			dn, err := naive.Design(budget)
 			if err != nil {
 				return nil, nil, err
 			}
-			rn, err := ev.Measure(dn)
+			runs[i].dn = dn
+		}
+	}
+	// Measurement phase: all (budget × designer) evaluations in parallel.
+	type job struct {
+		d   *designer.Design
+		res **designer.RunResult
+	}
+	results := make([]struct{ rc, rm, rn *designer.RunResult }, len(budgets))
+	var jobs []job
+	for i := range runs {
+		jobs = append(jobs,
+			job{runs[i].dc, &results[i].rc},
+			job{runs[i].dm, &results[i].rm})
+		if withNaive {
+			jobs = append(jobs, job{runs[i].dn, &results[i].rn})
+		}
+	}
+	// The outer fan-out already saturates the CPUs; run each Measure's
+	// internal pools single-threaded so worker counts don't multiply. The
+	// deferred restore also covers a panicking Measure.
+	err := func() error {
+		prevWorkers := ev.Workers
+		ev.Workers = 1
+		defer func() { ev.Workers = prevWorkers }()
+		return par.ForEachErr(len(jobs), 0, func(j int) error {
+			r, err := ev.Measure(jobs[j].d)
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
-			p.Naive = rn.Total
+			*jobs[j].res = r
+			return nil
+		})
+	}()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var pts []ComparisonPoint
+	for i, budget := range budgets {
+		p := ComparisonPoint{
+			Budget:          budget,
+			CORADD:          results[i].rc.Total,
+			CORADDModel:     runs[i].dc.TotalExpected(env.W),
+			Commercial:      results[i].rm.Total,
+			CommercialModel: runs[i].dm.TotalExpected(env.W),
+		}
+		row := []string{mb(budget), f3(p.CORADD), f3(p.CORADDModel), f3(p.Commercial), f3(p.CommercialModel)}
+		if withNaive {
+			p.Naive = results[i].rn.Total
 			row = append(row, f3(p.Naive))
 		}
 		speedup := 0.0

@@ -98,6 +98,19 @@ type Env struct {
 	W      query.Workload
 	Common designer.Common
 	Scale  Scale
+
+	evaluator *designer.Evaluator
+}
+
+// Evaluator returns the environment's shared design evaluator, created on
+// first use. Sharing it across experiments (and across repeated runs of
+// one experiment, as the benchmarks do) lets the materialization cache
+// reuse physical objects wherever designs overlap.
+func (e *Env) Evaluator() *designer.Evaluator {
+	if e.evaluator == nil {
+		e.evaluator = designer.NewEvaluator(e.Rel, e.W, e.Common.Disk)
+	}
+	return e.evaluator
 }
 
 // Budgets converts the scale's multipliers into byte budgets for the

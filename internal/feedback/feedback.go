@@ -19,6 +19,7 @@ import (
 	"coradd/internal/candgen"
 	"coradd/internal/costmodel"
 	"coradd/internal/ilp"
+	"coradd/internal/par"
 )
 
 // Config tunes the loop.
@@ -50,13 +51,17 @@ type Result struct {
 // BuildProblem prices every design against every query with the model in g
 // and assembles the ILP instance. Dominated candidates are pruned (§5.3);
 // the returned design slice is aligned with the problem's candidates.
+// Candidate costing fans out across the worker pool — each candidate's
+// pricing is independent and the models memoize race-safely — which is the
+// dominant cost of large pools.
 func BuildProblem(g *candgen.Generator, designs []*costmodel.MVDesign, base []float64, budget int64) (*ilp.Problem, []*costmodel.MVDesign) {
 	cands := make([]ilp.Candidate, len(designs))
 	weights := make([]float64, len(g.W))
 	for qi, q := range g.W {
 		weights[qi] = q.EffectiveWeight()
 	}
-	for i, d := range designs {
+	par.ForEach(len(designs), 0, func(i int) {
+		d := designs[i]
 		times := make([]float64, len(g.W))
 		for qi, q := range g.W {
 			c, _ := g.Model.Estimate(d, q)
@@ -73,7 +78,7 @@ func BuildProblem(g *candgen.Generator, designs []*costmodel.MVDesign, base []fl
 			FactGroup: fg,
 			Ref:       d,
 		}
-	}
+	})
 	kept, origIdx := ilp.PruneDominated(cands)
 	keptDesigns := make([]*costmodel.MVDesign, len(kept))
 	for i, oi := range origIdx {

@@ -72,8 +72,36 @@ func Solve(p *Problem, opts SolveOptions) *Solution {
 		proven: true,
 	}
 	s.decided = make([]int8, len(p.Cands))
+	// Flatten the hot per-node lookups: per-query candidate times aligned
+	// with perQ (the bound scans them contiguously instead of chasing each
+	// candidate's Times slice), plus weights and sizes as dense slices.
+	s.perQTimes = make([][]float64, nQ)
+	for q := range perQ {
+		ts := make([]float64, len(perQ[q]))
+		for r, m := range perQ[q] {
+			ts[r] = p.Cands[m].Times[q]
+		}
+		s.perQTimes[q] = ts
+	}
+	s.weights = make([]float64, nQ)
+	for q := 0; q < nQ; q++ {
+		s.weights[q] = p.weight(q)
+	}
+	s.sizes = make([]int64, len(p.Cands))
+	for m := range p.Cands {
+		s.sizes[m] = p.Cands[m].Size
+	}
+	// Per-depth bound scratch: depth d's buffers stay valid while its
+	// subtree runs, so an exclude child can reuse its parent's per-query
+	// picks and contributions instead of rescanning every query.
+	s.pickBuf = make([][]int32, len(p.Cands)+1)
+	s.contribBuf = make([][]float64, len(p.Cands)+1)
+	for d := range s.pickBuf {
+		s.pickBuf[d] = make([]int32, nQ)
+		s.contribBuf[d] = make([]float64, nQ)
+	}
 	factUsed := map[int]bool{}
-	s.dfs(0, 0, bestTimes, nil, factUsed)
+	s.dfs(0, 0, bestTimes, s.objectiveOf(bestTimes), -1, nil, factUsed)
 
 	sol := &Solution{
 		Chosen:    s.bestChosen,
@@ -94,24 +122,44 @@ type solver struct {
 	maxNodes int
 	deadline time.Time
 
+	// perQTimes[q][r] is the runtime of candidate perQ[q][r] on q; weights
+	// and sizes are the dense forms of Problem.weight and Candidate.Size.
+	perQTimes [][]float64
+	weights   []float64
+	sizes     []int64
+	// pickBuf[d][q] / contribBuf[d][q] hold, for the node at depth d, the
+	// candidate the bound let q use (-1 = none) and q's weighted bound
+	// contribution.
+	pickBuf    [][]int32
+	contribBuf [][]float64
+
 	nodes      int
 	bestObj    float64
 	bestChosen []int
 	proven     bool
 }
 
+// objectiveOf sums the weighted per-query times in query order (the one
+// summation order used everywhere, so repeated evaluations are bit-equal).
+func (s *solver) objectiveOf(bestTimes []float64) float64 {
+	cur := 0.0
+	for q, t := range bestTimes {
+		cur += s.weights[q] * t
+	}
+	return cur
+}
+
 // dfs explores decisions for order[pos:]. bestTimes reflects included
-// candidates; usedSize their total size; chosen their indexes.
-func (s *solver) dfs(pos int, usedSize int64, bestTimes []float64, chosen []int, factUsed map[int]bool) {
+// candidates with cur their weighted objective; usedSize their total size;
+// chosen their indexes. cur is recomputed only when the chosen set changes
+// (the exclude branch reuses the parent's value, which is identical).
+// excluded names the candidate the parent just excluded (-1 after an
+// include or at the root), enabling the incremental bound.
+func (s *solver) dfs(pos int, usedSize int64, bestTimes []float64, cur float64, excluded int, chosen []int, factUsed map[int]bool) {
 	s.nodes++
 	if s.nodes > s.maxNodes || (!s.deadline.IsZero() && s.nodes%1024 == 0 && time.Now().After(s.deadline)) {
 		s.proven = false
 		return
-	}
-	// Current objective with only the chosen set.
-	cur := 0.0
-	for q, t := range bestTimes {
-		cur += s.p.weight(q) * t
 	}
 	if cur < s.bestObj-1e-12 {
 		s.bestObj = cur
@@ -120,8 +168,17 @@ func (s *solver) dfs(pos int, usedSize int64, bestTimes []float64, chosen []int,
 	if pos >= len(s.order) {
 		return
 	}
-	// Admissible bound.
-	if s.bound(bestTimes, usedSize) >= s.bestObj-1e-12 {
+	// Admissible bound: full scan after an include (times and budget both
+	// changed), an incremental update over the parent's per-query picks
+	// after an exclude (only queries whose pick was just excluded can
+	// change — both paths produce bit-identical totals).
+	var b float64
+	if excluded < 0 || pos == 0 {
+		b = s.boundFull(bestTimes, usedSize, pos)
+	} else {
+		b = s.boundExcluded(bestTimes, usedSize, pos, excluded)
+	}
+	if b >= s.bestObj-1e-12 {
 		return
 	}
 	m := s.order[pos]
@@ -147,7 +204,7 @@ func (s *solver) dfs(pos int, usedSize int64, bestTimes []float64, chosen []int,
 			if cand.FactGroup > 0 {
 				factUsed[cand.FactGroup] = true
 			}
-			s.dfs(pos+1, usedSize+cand.Size, newTimes, append(chosen, m), factUsed)
+			s.dfs(pos+1, usedSize+cand.Size, newTimes, s.objectiveOf(newTimes), -1, append(chosen, m), factUsed)
 			if cand.FactGroup > 0 {
 				delete(factUsed, cand.FactGroup)
 			}
@@ -156,28 +213,64 @@ func (s *solver) dfs(pos int, usedSize int64, bestTimes []float64, chosen []int,
 	}
 	// Exclude m.
 	s.decided[m] = 2
-	s.dfs(pos+1, usedSize, bestTimes, chosen, factUsed)
+	s.dfs(pos+1, usedSize, bestTimes, cur, m, chosen, factUsed)
 	s.decided[m] = 0
 }
 
-// bound computes the optimistic objective at a node.
-func (s *solver) bound(bestTimes []float64, usedSize int64) float64 {
+// boundQuery scans query q's ascending candidate list for the first
+// undecided-or-included entry that fits the remaining budget and improves
+// on cur, returning the optimistic time and the candidate used (-1: none).
+func (s *solver) boundQuery(q int, cur float64, remaining int64) (float64, int32) {
+	best, pick := cur, int32(-1)
+	ts := s.perQTimes[q]
+	for r, m := range s.perQ[q] {
+		t := ts[r]
+		if t >= best {
+			break // sorted ascending; nothing better follows
+		}
+		if s.decided[m] == 2 || s.sizes[m] > remaining {
+			continue
+		}
+		best, pick = t, int32(m)
+		break
+	}
+	return best, pick
+}
+
+// boundFull computes the optimistic objective at depth pos from scratch,
+// recording per-query picks and contributions for incremental children.
+func (s *solver) boundFull(bestTimes []float64, usedSize int64, pos int) float64 {
 	remaining := s.p.Budget - usedSize
+	picks, contrib := s.pickBuf[pos], s.contribBuf[pos]
 	total := 0.0
 	for q, cur := range bestTimes {
-		best := cur
-		for _, m := range s.perQ[q] {
-			t := s.p.Cands[m].Times[q]
-			if t >= best {
-				break // sorted ascending; nothing better follows
-			}
-			if s.decided[m] == 2 || s.p.Cands[m].Size > remaining {
-				continue
-			}
-			best = t
-			break
+		best, pick := s.boundQuery(q, cur, remaining)
+		c := s.weights[q] * best
+		picks[q], contrib[q] = pick, c
+		total += c
+	}
+	return total
+}
+
+// boundExcluded updates the parent's bound after excluding candidate ex:
+// with times and budget unchanged, a query's optimistic pick can only
+// change if it was ex. Unaffected contributions are copied verbatim and the
+// total is re-summed in query order, so the result equals boundFull's bit
+// for bit.
+func (s *solver) boundExcluded(bestTimes []float64, usedSize int64, pos, ex int) float64 {
+	remaining := s.p.Budget - usedSize
+	parentPicks, parentContrib := s.pickBuf[pos-1], s.contribBuf[pos-1]
+	picks, contrib := s.pickBuf[pos], s.contribBuf[pos]
+	copy(picks, parentPicks)
+	copy(contrib, parentContrib)
+	ex32 := int32(ex)
+	total := 0.0
+	for q := range contrib {
+		if picks[q] == ex32 {
+			best, pick := s.boundQuery(q, bestTimes[q], remaining)
+			picks[q], contrib[q] = pick, s.weights[q]*best
 		}
-		total += s.p.weight(q) * best
+		total += contrib[q]
 	}
 	return total
 }

@@ -1,0 +1,82 @@
+// Package par is the repository's bounded worker-pool layer: it fans
+// independent units of the design pipeline — candidate costing, design
+// materialization/measurement, per-query execution — across a fixed number
+// of goroutines while keeping results positionally deterministic.
+//
+// The contract every call site relies on:
+//
+//   - fn(i) writes only to slot i of its output slice(s), so no two
+//     goroutines touch the same memory and results are ordered exactly as a
+//     sequential loop would order them;
+//   - shared inputs (statistics, cost-model caches, the materialization
+//     cache) are internally synchronized and memoize deterministic values,
+//     so execution order cannot change any result;
+//   - floating-point reductions happen AFTER the fan-out, in index order,
+//     keeping totals bit-identical to sequential runs.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the pool width used when a call site does not override
+// it: one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(i) for every i in [0,n) on at most workers goroutines
+// (workers <= 0 selects DefaultWorkers). It returns when all calls have
+// finished. For n <= 1 or a single worker it degrades to a plain loop —
+// callers never pay goroutine overhead for trivial fan-outs.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 1 || workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachErr is ForEach for fallible work: every fn(i) runs (no
+// short-circuiting, so side effects like cache fills stay deterministic)
+// and the error of the LOWEST index that failed is returned — the same
+// error a sequential loop that collected all errors would report first.
+func ForEachErr(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	ForEach(n, workers, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

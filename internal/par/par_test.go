@@ -1,0 +1,82 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		n := 257
+		counts := make([]int64, n)
+		ForEach(n, workers, func(i int) { atomic.AddInt64(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndOne(t *testing.T) {
+	ran := 0
+	ForEach(0, 4, func(int) { ran++ })
+	if ran != 0 {
+		t.Errorf("n=0 ran %d times", ran)
+	}
+	ForEach(1, 4, func(i int) { ran += i + 1 })
+	if ran != 1 {
+		t.Errorf("n=1: ran=%d", ran)
+	}
+}
+
+func TestForEachErrReturnsLowestIndexError(t *testing.T) {
+	n := 40
+	err := ForEachErr(n, 8, func(i int) error {
+		if i%7 == 3 {
+			return fmt.Errorf("fail at %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "fail at 3" {
+		t.Fatalf("got %v, want the lowest-index failure (3)", err)
+	}
+	if err := ForEachErr(n, 8, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestForEachErrRunsAllDespiteFailures(t *testing.T) {
+	n := 64
+	var ran int64
+	wantErr := errors.New("boom")
+	err := ForEachErr(n, 4, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 0 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v", err)
+	}
+	if ran != int64(n) {
+		t.Fatalf("ran %d of %d despite failure (no short-circuit allowed)", ran, n)
+	}
+}
+
+// TestForEachDeterministicSlots exercises the positional-result contract
+// under the race detector: concurrent writers each own one slot, and the
+// assembled result must equal the sequential one.
+func TestForEachDeterministicSlots(t *testing.T) {
+	n := 500
+	got := make([]int, n)
+	ForEach(n, 16, func(i int) { got[i] = i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}

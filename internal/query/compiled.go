@@ -1,0 +1,145 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+
+	"coradd/internal/value"
+)
+
+// CompileCache memoizes Compiled bindings per *Query for one fixed
+// name→position mapping (one schema). Safe for concurrent use; the zero
+// value is ready. Both the executor (per materialized object) and the
+// statistics (base schema) embed one, so compile-once semantics live in a
+// single place.
+type CompileCache struct {
+	m sync.Map // *Query → *Compiled
+}
+
+// Get returns q bound through col, compiling on first sight. All calls for
+// one cache must pass the same mapping.
+func (c *CompileCache) Get(q *Query, col func(string) int) *Compiled {
+	if v, ok := c.m.Load(q); ok {
+		return v.(*Compiled)
+	}
+	cq := MustCompile(q, col)
+	c.m.Store(q, cq)
+	return cq
+}
+
+// CompiledPred is one predicate bound to a column position, ready for
+// per-row evaluation without name resolution.
+type CompiledPred struct {
+	// Col is the column position in the target schema.
+	Col int
+	Op  Op
+	// Lo/Hi bound Range predicates; Lo holds the value of Eq predicates.
+	Lo, Hi value.V
+	// Set holds the values of In predicates, sorted ascending (shared with
+	// the source predicate, never mutated).
+	Set []value.V
+}
+
+// Matches reports whether v satisfies the predicate. Semantically identical
+// to Predicate.Matches.
+func (p *CompiledPred) Matches(v value.V) bool {
+	switch p.Op {
+	case Eq:
+		return v == p.Lo
+	case Range:
+		return v >= p.Lo && v <= p.Hi
+	case In:
+		return inSet(p.Set, v)
+	default:
+		return false
+	}
+}
+
+// Compiled is a query bound to one schema: every predicate and the
+// aggregate column are resolved to positions once, so the per-row inner
+// loops of the executor and the cost models run without string-map lookups
+// or closure dispatch. A Compiled is immutable after Compile and safe for
+// concurrent use.
+type Compiled struct {
+	// Preds are the position-bound predicates, in the query's declaration
+	// order (MatchesRow evaluates them in this order, exactly like the
+	// interpreted Query.MatchesRow).
+	Preds []CompiledPred
+	// Agg is the aggregate column position, or -1 when the query has none.
+	Agg int
+}
+
+// Compile binds q's predicates and aggregate to column positions through
+// col (a name→position mapping such as (*schema.Schema).Col). It returns an
+// error when a predicated column or the aggregate column is absent
+// (col(name) < 0), mirroring the panic interpreted execution would hit.
+func Compile(q *Query, col func(string) int) (*Compiled, error) {
+	c := &Compiled{Preds: make([]CompiledPred, len(q.Predicates)), Agg: -1}
+	for i := range q.Predicates {
+		p := &q.Predicates[i]
+		pos := col(p.Col)
+		if pos < 0 {
+			return nil, fmt.Errorf("query: compile %s: unknown column %s", q.Name, p.Col)
+		}
+		c.Preds[i] = CompiledPred{Col: pos, Op: p.Op, Lo: p.Lo, Hi: p.Hi, Set: p.Set}
+	}
+	if q.AggCol != "" {
+		pos := col(q.AggCol)
+		if pos < 0 {
+			return nil, fmt.Errorf("query: compile %s: unknown aggregate column %s", q.Name, q.AggCol)
+		}
+		c.Agg = pos
+	}
+	return c, nil
+}
+
+// MustCompile is Compile but panics on unknown columns; used where the
+// caller has already verified coverage.
+func MustCompile(q *Query, col func(string) int) *Compiled {
+	c, err := Compile(q, col)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MatchesRow reports whether row satisfies every predicate. Equivalent to
+// Query.MatchesRow under the mapping the query was compiled with.
+func (c *Compiled) MatchesRow(row value.Row) bool {
+	for i := range c.Preds {
+		p := &c.Preds[i]
+		v := row[p.Col]
+		switch p.Op {
+		case Eq:
+			if v != p.Lo {
+				return false
+			}
+		case Range:
+			if v < p.Lo || v > p.Hi {
+				return false
+			}
+		case In:
+			if !inSet(p.Set, v) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// inSet reports whether v is in the ascending-sorted set, branch-light
+// binary search without closure allocation.
+func inSet(set []value.V, v value.V) bool {
+	lo, hi := 0, len(set)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if set[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(set) && set[lo] == v
+}

@@ -1,0 +1,106 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"coradd/internal/value"
+)
+
+// threeColMapping maps a/b/c to positions 0/1/2; everything else is absent.
+func threeColMapping(name string) int {
+	switch name {
+	case "a":
+		return 0
+	case "b":
+		return 1
+	case "c":
+		return 2
+	}
+	return -1
+}
+
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	cases := []struct {
+		name string
+		q    *Query
+	}{
+		{"eq", &Query{Name: "eq", Predicates: []Predicate{NewEq("a", 5)}}},
+		{"range", &Query{Name: "range", Predicates: []Predicate{NewRange("b", 3, 9)}}},
+		{"in", &Query{Name: "in", Predicates: []Predicate{NewIn("c", 2, 7, 11)}}},
+		{"in_single", &Query{Name: "in1", Predicates: []Predicate{NewIn("a", 4)}}},
+		{"all_ops", &Query{Name: "all", Predicates: []Predicate{
+			NewEq("a", 1), NewRange("b", 0, 6), NewIn("c", 1, 3, 5, 8),
+		}}},
+		{"empty", &Query{Name: "none"}},
+		{"with_agg", &Query{Name: "agg", AggCol: "c", Predicates: []Predicate{NewEq("a", 2)}}},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cq, err := Compile(tc.q, threeColMapping)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 2000; trial++ {
+				row := value.Row{
+					value.V(rng.Intn(12)), value.V(rng.Intn(12)), value.V(rng.Intn(12)),
+				}
+				want := tc.q.MatchesRow(row, threeColMapping)
+				if got := cq.MatchesRow(row); got != want {
+					t.Fatalf("row %v: compiled=%v interpreted=%v", row, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestCompiledPredMatchesPredicate(t *testing.T) {
+	preds := []Predicate{
+		NewEq("a", 5),
+		NewRange("a", -4, 4),
+		NewIn("a", -3, 0, 9, 100),
+		NewIn("a"), // empty IN set matches nothing
+	}
+	for _, p := range preds {
+		q := &Query{Name: "p", Predicates: []Predicate{p}}
+		cq := MustCompile(q, threeColMapping)
+		for v := value.V(-6); v <= 101; v++ {
+			if got, want := cq.Preds[0].Matches(v), p.Matches(v); got != want {
+				t.Fatalf("%s v=%d: compiled=%v interpreted=%v", p.String(), v, got, want)
+			}
+		}
+	}
+}
+
+func TestCompileMissingColumn(t *testing.T) {
+	q := &Query{Name: "bad", Predicates: []Predicate{NewEq("nope", 1)}}
+	if _, err := Compile(q, threeColMapping); err == nil {
+		t.Fatal("Compile accepted a predicate on a missing column")
+	}
+	q2 := &Query{Name: "badagg", AggCol: "nope"}
+	if _, err := Compile(q2, threeColMapping); err == nil {
+		t.Fatal("Compile accepted a missing aggregate column")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile did not panic on missing column")
+		}
+	}()
+	MustCompile(q, threeColMapping)
+}
+
+func TestCompileBindsAggAndPositions(t *testing.T) {
+	q := &Query{Name: "q", AggCol: "b", Predicates: []Predicate{NewEq("c", 1), NewEq("a", 2)}}
+	cq := MustCompile(q, threeColMapping)
+	if cq.Agg != 1 {
+		t.Errorf("agg position = %d, want 1", cq.Agg)
+	}
+	if cq.Preds[0].Col != 2 || cq.Preds[1].Col != 0 {
+		t.Errorf("predicate positions = %d,%d, want 2,0", cq.Preds[0].Col, cq.Preds[1].Col)
+	}
+	q2 := &Query{Name: "noagg"}
+	if cq2 := MustCompile(q2, threeColMapping); cq2.Agg != -1 {
+		t.Errorf("agg position = %d, want -1", cq2.Agg)
+	}
+}

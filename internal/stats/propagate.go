@@ -126,7 +126,28 @@ func (st *Stats) Propagate(v Vector) Vector {
 	return v
 }
 
-// PropagatedVector is SelectivityVector followed by Propagate.
+// clone deep-copies the vector so cached masters never escape.
+func (v Vector) clone() Vector {
+	out := Vector{Sel: append([]float64(nil), v.Sel...)}
+	if v.Pairs != nil {
+		out.Pairs = make(map[[2]int]float64, len(v.Pairs))
+		for k, s := range v.Pairs {
+			out.Pairs[k] = s
+		}
+	}
+	return out
+}
+
+// PropagatedVector is SelectivityVector followed by Propagate, cached per
+// query: the candidate generator re-derives dedicated keys from the same
+// propagated vectors throughout its recursive merge. Each call returns a
+// fresh copy, so callers may retain or mutate the result (Propagate's
+// in-place idiom) without corrupting the cache.
 func (st *Stats) PropagatedVector(q *query.Query) Vector {
-	return st.Propagate(st.SelectivityVector(q))
+	if v, ok := st.propMem.Load(q); ok {
+		return v.(Vector).clone()
+	}
+	v := st.Propagate(st.SelectivityVector(q))
+	st.propMem.Store(q, v.clone())
+	return v
 }

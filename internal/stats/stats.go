@@ -2,7 +2,9 @@ package stats
 
 import (
 	"math/rand"
+	"slices"
 	"sort"
+	"sync"
 
 	"coradd/internal/query"
 	"coradd/internal/storage"
@@ -26,9 +28,50 @@ type Stats struct {
 	// tests and the OPT baseline.
 	Exact bool
 
-	colDistinct []float64          // exact single-column cardinalities
-	distinctMem map[string]float64 // memoized composite cardinalities
+	colDistinct []float64 // exact single-column cardinalities
 	hists       []*Histogram
+
+	// mu guards the lazily-built memo maps below; everything above is
+	// immutable after New, so reads need no lock. Designers price candidates
+	// from several goroutines at once.
+	mu          sync.Mutex
+	distinctMem map[string]float64 // memoized composite cardinalities
+	compiledMem query.CompileCache // bindings on the base schema
+	sortedMem   map[string][]value.Row
+	propMem     sync.Map // *query.Query → Vector (cached masters; clone on read)
+}
+
+// SortedSample returns the synopsis sorted by the composite key, cached per
+// key and shared by every consumer (the correlation-aware cost model sorts
+// the synopsis for each candidate clustered key — the same keys recur
+// across designers and model instances). Callers must not mutate the
+// returned slice.
+func (st *Stats) SortedSample(key []int) []value.Row {
+	ks := encodeCols(key)
+	st.mu.Lock()
+	if s, ok := st.sortedMem[ks]; ok {
+		st.mu.Unlock()
+		return s
+	}
+	st.mu.Unlock()
+	s := make([]value.Row, len(st.Sample))
+	copy(s, st.Sample)
+	slices.SortStableFunc(s, func(a, b value.Row) int { return value.CompareRows(a, b, key) })
+	st.mu.Lock()
+	if st.sortedMem == nil {
+		st.sortedMem = make(map[string][]value.Row)
+	}
+	st.sortedMem[ks] = s
+	st.mu.Unlock()
+	return s
+}
+
+// Compiled returns q bound to the relation's schema, compiled once per
+// query and shared: the synopsis-matching loops of the cost models and the
+// statistics run on position-bound predicates instead of per-row name
+// lookups.
+func (st *Stats) Compiled(q *query.Query) *query.Compiled {
+	return st.compiledMem.Get(q, st.Rel.Schema.Col)
 }
 
 // New scans rel once, building cardinalities, histograms and a synopsis of
@@ -98,9 +141,12 @@ func (st *Stats) Distinct(cols ...int) float64 {
 	sorted := append([]int(nil), cols...)
 	sort.Ints(sorted)
 	key := encodeCols(sorted)
+	st.mu.Lock()
 	if d, ok := st.distinctMem[key]; ok {
+		st.mu.Unlock()
 		return d
 	}
+	st.mu.Unlock()
 	var d float64
 	if st.Exact {
 		seen := make(map[string]struct{})
@@ -125,7 +171,9 @@ func (st *Stats) Distinct(cols ...int) float64 {
 			}
 		}
 	}
+	st.mu.Lock()
 	st.distinctMem[key] = d
+	st.mu.Unlock()
 	return d
 }
 
@@ -186,10 +234,10 @@ func (st *Stats) QuerySelectivitySampled(q *query.Query) float64 {
 	if len(st.Sample) == 0 {
 		return st.QuerySelectivityIndependent(q)
 	}
-	col := func(name string) int { return st.Rel.Schema.MustCol(name) }
+	cq := st.Compiled(q)
 	n := 0
 	for _, row := range st.Sample {
-		if q.MatchesRow(row, col) {
+		if cq.MatchesRow(row) {
 			n++
 		}
 	}
@@ -203,10 +251,10 @@ func (st *Stats) QuerySelectivitySampled(q *query.Query) float64 {
 
 // MatchingSample returns the synopsis rows matching all predicates of q.
 func (st *Stats) MatchingSample(q *query.Query) []value.Row {
-	col := func(name string) int { return st.Rel.Schema.MustCol(name) }
+	cq := st.Compiled(q)
 	var out []value.Row
 	for _, row := range st.Sample {
-		if q.MatchesRow(row, col) {
+		if cq.MatchesRow(row) {
 			out = append(out, row)
 		}
 	}

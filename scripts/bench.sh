@@ -1,0 +1,44 @@
+#!/bin/sh
+# bench.sh [N] — run the benchmark suite with -benchmem and emit BENCH_N.json
+# (default N=1) recording ns/op, B/op and allocs/op per benchmark, so the
+# repository's performance trajectory is tracked across PRs.
+set -eu
+
+N="${1:-1}"
+OUT="BENCH_${N}.json"
+TXT="$(mktemp)"
+trap 'rm -f "$TXT"' EXIT
+
+BENCHTIME="${BENCHTIME:-1s}"
+
+go test -run NONE -bench . -benchmem -benchtime "$BENCHTIME" . | tee "$TXT"
+
+awk -v out="$OUT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    iters = $2
+    ns = $3
+    bytes = ""; allocs = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    line = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+    if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    line = line "}"
+    lines[n++] = line
+}
+/^(goos|goarch|pkg|cpu):/ { meta[$1] = $2 }
+END {
+    printf "{\n" > out
+    printf "  \"goos\": \"%s\",\n", meta["goos:"] >> out
+    printf "  \"goarch\": \"%s\",\n", meta["goarch:"] >> out
+    printf "  \"benchmarks\": [\n" >> out
+    for (i = 0; i < n; i++) printf "  %s%s\n", lines[i], (i < n-1 ? "," : "") >> out
+    printf "  ]\n}\n" >> out
+}
+' "$TXT"
+
+echo "wrote $OUT"
