@@ -72,6 +72,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(out, "(%s finished in %.1fs)\n\n", id, time.Since(start).Seconds())
+		// Release this phase's materialized objects: the next experiment
+		// rebuilds what it needs, so a full -run all sweep never holds
+		// every phase's working set at once.
+		for _, env := range []*exp.Env{ssbEnv, ssbAugEnv, apbEnv} {
+			if env != nil {
+				env.FlushCaches()
+			}
+		}
 	}
 
 	step("table1", func() error {

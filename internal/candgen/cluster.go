@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"coradd/internal/costmodel"
+	"coradd/internal/par"
 	"coradd/internal/query"
 )
 
@@ -158,8 +159,13 @@ func (g *Generator) pruneKeys(group []int, cols []int, keys [][]int, t int) [][]
 		key  []int
 		cost float64
 	}
+	// Merge/split scoring fans out across the worker pool: each key's
+	// pricing is independent, the cost model memoizes race-safely, and the
+	// weighted sum per key stays in group order, so the scores — and the
+	// stable sort over them — are identical to a sequential loop's.
 	sc := make([]scored, len(cleaned))
-	for i, k := range cleaned {
+	par.ForEach(len(cleaned), 0, func(i int) {
+		k := cleaned[i]
 		d := &costmodel.MVDesign{Cols: cols, ClusterKey: k}
 		total := 0.0
 		for _, qi := range group {
@@ -167,7 +173,7 @@ func (g *Generator) pruneKeys(group []int, cols []int, keys [][]int, t int) [][]
 			total += g.W[qi].EffectiveWeight() * c
 		}
 		sc[i] = scored{k, total}
-	}
+	})
 	sort.SliceStable(sc, func(i, j int) bool { return sc[i].cost < sc[j].cost })
 	out := make([][]int, 0, t)
 	for i := 0; i < t && i < len(sc); i++ {

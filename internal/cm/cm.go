@@ -76,43 +76,79 @@ func Build(rel *storage.Relation, keyCols []int, keyWidths []value.V, clusterPag
 
 // pairCollector accumulates distinct (bucketed key, clustered bucket)
 // pairs. The caller writes each candidate key into pc.key and calls add.
-// Consecutive repeats — the dominant case when the key correlates with the
-// clustered order, exactly what CMs exist for — skip the hash map via a
-// previous-pair run check. finish sorts by key then bucket; Build and
-// Derive share this so their pair sets stay bit-identical by construction.
+// Dedup is sort-based: add appends (key, bucket) rows — keys into one
+// flat arena, so the whole collection costs O(1) allocations — and finish
+// sorts by key then bucket and compacts equal neighbours. Consecutive
+// repeats — the dominant case when the key correlates with the clustered
+// order, exactly what CMs exist for — are dropped at append time by a
+// previous-pair run check, so the sorted volume stays near the distinct
+// count. Build and Derive share this; the final pair set is exactly the
+// distinct set in (key, bucket) order, bit-identical to the old hash-based
+// collection.
 type pairCollector struct {
-	key             []value.V
-	seen            map[string]bool
-	keyBuf, prevBuf []byte
-	pairs           []pair
+	key     []value.V
+	arena   []value.V // appended keys, keyLen values each
+	buckets []int32
 }
 
 func newPairCollector(keyLen int) *pairCollector {
-	return &pairCollector{key: make([]value.V, keyLen), seen: make(map[string]bool)}
+	return &pairCollector{key: make([]value.V, keyLen)}
 }
 
 func (pc *pairCollector) add(bucket int32) {
-	pc.keyBuf = encodeKey(pc.keyBuf[:0], pc.key, bucket)
-	if string(pc.prevBuf) == string(pc.keyBuf) {
-		return
+	k := len(pc.key)
+	if n := len(pc.buckets); n > 0 && pc.buckets[n-1] == bucket {
+		prev := pc.arena[len(pc.arena)-k:]
+		same := true
+		for i, v := range pc.key {
+			if prev[i] != v {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
 	}
-	pc.prevBuf = append(pc.prevBuf[:0], pc.keyBuf...)
-	if pc.seen[string(pc.keyBuf)] {
-		return
-	}
-	pc.seen[string(pc.keyBuf)] = true
-	pc.pairs = append(pc.pairs, pair{key: append([]value.V(nil), pc.key...), bucket: bucket})
+	pc.arena = append(pc.arena, pc.key...)
+	pc.buckets = append(pc.buckets, bucket)
 }
 
 func (pc *pairCollector) finish() []pair {
-	sort.Slice(pc.pairs, func(i, j int) bool {
-		c := value.CompareKeys(pc.pairs[i].key, pc.pairs[j].key)
+	k := len(pc.key)
+	pairs := make([]pair, len(pc.buckets))
+	for i := range pairs {
+		pairs[i] = pair{key: pc.arena[i*k : (i+1)*k : (i+1)*k], bucket: pc.buckets[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		c := value.CompareKeys(pairs[i].key, pairs[j].key)
 		if c != 0 {
 			return c < 0
 		}
-		return pc.pairs[i].bucket < pc.pairs[j].bucket
+		return pairs[i].bucket < pairs[j].bucket
 	})
-	return pc.pairs
+	// Compact duplicates in place: rows are sorted, so equals are adjacent.
+	out := pairs[:0]
+	for i := range pairs {
+		if i > 0 {
+			last := &out[len(out)-1]
+			if last.bucket == pairs[i].bucket && value.CompareKeys(last.key, pairs[i].key) == 0 {
+				continue
+			}
+		}
+		out = append(out, pairs[i])
+	}
+	// Re-copy into right-sized storage: the compacted pairs still alias
+	// the append arena, which is O(rows) when the key anti-correlates
+	// with the clustered order — the CM must retain only O(distinct).
+	arena := make([]value.V, len(out)*k)
+	res := make([]pair, len(out))
+	for i := range out {
+		dst := arena[i*k : (i+1)*k : (i+1)*k]
+		copy(dst, out[i].key)
+		res[i] = pair{key: dst, bucket: out[i].bucket}
+	}
+	return res
 }
 
 // Derive builds the CM for coarser bucket widths from an exact (all widths
@@ -158,18 +194,6 @@ func bucketValue(v, width value.V) value.V {
 		q--
 	}
 	return q
-}
-
-func encodeKey(buf []byte, key []value.V, bucket int32) []byte {
-	for _, v := range key {
-		for s := 0; s < 64; s += 8 {
-			buf = append(buf, byte(v>>s))
-		}
-	}
-	for s := 0; s < 32; s += 8 {
-		buf = append(buf, byte(bucket>>s))
-	}
-	return buf
 }
 
 // NumPairs returns the number of stored (key, bucket) co-occurrences.

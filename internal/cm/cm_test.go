@@ -232,3 +232,31 @@ func onesFor(cols []int) []value.V {
 	}
 	return ones
 }
+
+// TestPairCollectorAlternatingDuplicates drives the sort-based dedup with
+// non-consecutive repeats (which the run check cannot catch) and verifies
+// the final pair set is distinct and sorted.
+func TestPairCollectorAlternatingDuplicates(t *testing.T) {
+	pc := newPairCollector(1)
+	seq := []struct {
+		k value.V
+		b int32
+	}{{1, 0}, {2, 0}, {1, 0}, {2, 0}, {1, 1}, {1, 1}, {2, 1}, {1, 1}}
+	for _, s := range seq {
+		pc.key[0] = s.k
+		pc.add(s.b)
+	}
+	pairs := pc.finish()
+	want := []struct {
+		k value.V
+		b int32
+	}{{1, 0}, {1, 1}, {2, 0}, {2, 1}}
+	if len(pairs) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(pairs), len(want))
+	}
+	for i, w := range want {
+		if pairs[i].key[0] != w.k || pairs[i].bucket != w.b {
+			t.Errorf("pair %d = (%d,%d), want (%d,%d)", i, pairs[i].key[0], pairs[i].bucket, w.k, w.b)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"coradd/internal/btree"
+	"coradd/internal/par"
 	"coradd/internal/query"
 	"coradd/internal/storage"
 	"coradd/internal/value"
@@ -28,6 +29,12 @@ type DesignerConfig struct {
 	ClusterPagesPerBucket int
 	// Disk converts I/O into seconds when ranking candidates.
 	Disk storage.DiskParams
+	// Workers fans the per-key-set sweep (one relation scan + width grid
+	// each) across the worker pool; ≤ 1 keeps it sequential — the right
+	// default, since the evaluator usually invokes the designer from
+	// inside its own pool. Results are identical either way: per-key-set
+	// bests are reduced in enumeration order after the fan-out.
+	Workers int
 }
 
 // DefaultDesignerConfig returns the configuration the paper describes.
@@ -53,16 +60,30 @@ func Design(rel *storage.Relation, q *query.Query, cfg DesignerConfig) *CM {
 		return nil
 	}
 	height := btree.EstimateHeight(rel.NumPages(), rel.Schema.SubsetBytes(rel.ClusterKey))
-	var best *CM
-	bestCost := seqScanCost(rel, cfg.Disk)
-	for _, keyCols := range cands {
-		// One relation scan per key set: build the exact CM, then derive
-		// every coarser width from its pairs (identical to a fresh Build).
+	scanCost := seqScanCost(rel, cfg.Disk)
+	// Each key set is an independent unit of work: one relation scan for
+	// the exact CM, then every coarser width derived from its pairs
+	// (identical to a fresh Build). Per-key-set winners land in their own
+	// slot; the final reduction scans slots in enumeration order with the
+	// same strict comparison a sequential sweep applies, so the chosen CM
+	// is identical.
+	type slot struct {
+		best *CM
+		cost float64
+	}
+	slots := make([]slot, len(cands))
+	workers := cfg.Workers
+	if workers <= 1 {
+		workers = 1
+	}
+	par.ForEach(len(cands), workers, func(i int) {
+		keyCols := cands[i]
 		ones := make([]value.V, len(keyCols))
-		for i := range ones {
-			ones[i] = 1
+		for j := range ones {
+			ones[j] = 1
 		}
 		base := Build(rel, keyCols, ones, cfg.ClusterPagesPerBucket)
+		slots[i].cost = scanCost
 		for _, widths := range widthGrid(len(keyCols), cfg.Widths) {
 			m := base
 			if !allOnes(widths) {
@@ -72,10 +93,18 @@ func Design(rel *storage.Relation, q *query.Query, cfg DesignerConfig) *CM {
 				continue
 			}
 			c := lookupCost(rel, m, q, height, cfg.Disk)
-			if c < bestCost {
-				bestCost = c
-				best = m
+			if c < slots[i].cost {
+				slots[i].cost = c
+				slots[i].best = m
 			}
+		}
+	})
+	var best *CM
+	bestCost := scanCost
+	for i := range slots {
+		if slots[i].best != nil && slots[i].cost < bestCost {
+			bestCost = slots[i].cost
+			best = slots[i].best
 		}
 	}
 	return best

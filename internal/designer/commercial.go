@@ -8,6 +8,7 @@ import (
 	"coradd/internal/candgen"
 	"coradd/internal/costmodel"
 	"coradd/internal/ilp"
+	"coradd/internal/par"
 	"coradd/internal/query"
 )
 
@@ -158,7 +159,12 @@ func (d *Commercial) Design(budget int64) (*Design, error) {
 	for qi, q := range d.W {
 		weights[qi] = q.EffectiveWeight()
 	}
-	for i, cc := range d.cands {
+	// Candidate pricing fans out across the worker pool: each candidate's
+	// estimates are independent and the oblivious model memoizes
+	// race-safely, so the slot-per-candidate results match a sequential
+	// loop's exactly.
+	par.ForEach(len(d.cands), 0, func(i int) {
+		cc := d.cands[i]
 		times := make([]float64, len(d.W))
 		for qi, q := range d.W {
 			t, _ := d.Model.Estimate(cc.design, q)
@@ -173,7 +179,7 @@ func (d *Commercial) Design(budget int64) (*Design, error) {
 			Times: times, FactGroup: fg, Ref: cc.design,
 		}
 		designs[i] = cc.design
-	}
+	})
 	kept, origIdx := ilp.PruneDominated(cands)
 	keptDesigns := make([]*costmodel.MVDesign, len(kept))
 	for i, oi := range origIdx {

@@ -52,6 +52,12 @@ type Design struct {
 	Paths []costmodel.PathKind
 	// Size is the total space charged against the budget.
 	Size int64
+	// SolverNodes is the number of branch-and-bound nodes the selection
+	// explored (summed over feedback iterations; 0 for pure-greedy
+	// designers), and SolverProven whether every solve proved optimality —
+	// the solver-cost telemetry EXPERIMENTS.md tracks.
+	SolverNodes  int
+	SolverProven bool
 }
 
 // TotalExpected sums weighted expected runtimes.
@@ -78,6 +84,10 @@ type Common struct {
 	PKCols []int
 	// BaseKey is the fact table's existing clustered key (typically the PK).
 	BaseKey []int
+	// Solve tunes every exact ILP solve the designers run (preprocessing,
+	// Lagrangian bound, incumbent polish and parallel subtree search are
+	// all on by default with the zero value; see ilp.SolveOptions).
+	Solve ilp.SolveOptions
 }
 
 // BaseDesign describes the always-available fact table as a design.
@@ -105,11 +115,13 @@ func routedDesign(name string, style Style, c *Common, model costmodel.Model,
 	budget int64, designs []*costmodel.MVDesign, sol *ilp.Solution) *Design {
 
 	d := &Design{
-		Name:   name,
-		Style:  style,
-		Budget: budget,
-		Base:   c.BaseDesign(),
-		Size:   sol.Size,
+		Name:         name,
+		Style:        style,
+		Budget:       budget,
+		Base:         c.BaseDesign(),
+		Size:         sol.Size,
+		SolverNodes:  sol.Nodes,
+		SolverProven: sol.Proven,
 	}
 	for _, ci := range sol.Chosen {
 		d.Chosen = append(d.Chosen, designs[ci])
@@ -151,6 +163,9 @@ func NewCORADD(c Common, cfg candgen.Config, fb feedback.Config) *CORADD {
 	model := costmodel.NewAware(c.St, c.Disk)
 	gen := candgen.New(c.St, model, c.W, cfg)
 	gen.PKCols = c.PKCols
+	if fb.Solve == (ilp.SolveOptions{}) {
+		fb.Solve = c.Solve
+	}
 	d := &CORADD{Common: c, Model: model, Gen: gen, Feedback: fb}
 	d.initial = gen.Generate()
 	d.base = d.baseTimes(model)
@@ -181,9 +196,14 @@ func (d *CORADD) Design(budget int64) (*Design, error) {
 	if d.Feedback.MaxIters == -1 {
 		prob, aligned := feedback.BuildProblem(d.Gen, d.initial, d.base, budget)
 		sol := ilp.Solve(prob, d.Feedback.Solve)
-		res = &feedback.Result{Sol: sol, Prob: prob, Designs: aligned}
+		res = &feedback.Result{Sol: sol, Prob: prob, Designs: aligned, Nodes: sol.Nodes, Proven: sol.Proven}
 	} else {
 		res = feedback.Run(d.Gen, d.initial, d.base, budget, d.Feedback)
 	}
-	return routedDesign(d.Name(), StyleCORADD, &d.Common, d.Model, budget, res.Designs, res.Sol), nil
+	design := routedDesign(d.Name(), StyleCORADD, &d.Common, d.Model, budget, res.Designs, res.Sol)
+	// Aggregate telemetry: nodes summed and proven ANDed across every
+	// solve the feedback loop ran.
+	design.SolverNodes = res.Nodes
+	design.SolverProven = res.Proven
+	return design, nil
 }

@@ -200,7 +200,8 @@ func (e *Evaluator) materializeObject(d *Design, md *costmodel.MVDesign) (*exec.
 		newKey[i] = pos
 	}
 	rSig := relSig(md)
-	return e.Cache.object(e.objectSig(d, md), func() (*exec.Object, error) {
+	return e.Cache.object(e.objectSig(d, md), func(deps *[]string) (*exec.Object, error) {
+		*deps = append(*deps, relKey(rSig))
 		rel := e.Cache.relation(rSig, func() *storage.Relation {
 			// Cached relations are shared by every structurally identical
 			// design, so they carry a structural name (columns + key), not
@@ -217,6 +218,7 @@ func (e *Evaluator) materializeObject(d *Design, md *costmodel.MVDesign) (*exec.
 			var sig strings.Builder
 			sig.WriteString(rSig)
 			sigInts(&sig, "tree:", pkPos)
+			*deps = append(*deps, treeKey(sig.String()))
 			obj.PKIndex = e.Cache.tree(sig.String(), func() *btree.Tree {
 				return btree.BuildFromRelation(rel, pkPos)
 			})
@@ -229,15 +231,30 @@ func (e *Evaluator) materializeObject(d *Design, md *costmodel.MVDesign) (*exec.
 			// exhaustive search), then attached sequentially in workload
 			// order so dedup is deterministic.
 			served := servedQueries(d, md)
+			// The CM designs fan out across queries; when only one query is
+			// served that fan-out is degenerate, so hand the workers to the
+			// designer's per-key-set sweep instead (results are identical
+			// either way).
+			cmCfg := e.CMConfig
+			if len(served) == 1 && cmCfg.Workers == 0 {
+				if cmCfg.Workers = e.Workers; cmCfg.Workers == 0 {
+					cmCfg.Workers = par.DefaultWorkers() // 0 means one per CPU here
+				}
+			}
 			designs := make([]*cm.CM, len(served))
-			par.ForEach(len(served), e.Workers, func(i int) {
-				q := e.W[served[i]]
+			sigs := make([]string, len(served))
+			for i := range served {
 				var sig strings.Builder
 				sig.WriteString(rSig)
 				sig.WriteString("|cmq:")
-				sig.WriteString(q.Name)
-				designs[i] = e.Cache.cmDesign(sig.String(), func() *cm.CM {
-					return cm.Design(rel, q, e.CMConfig)
+				sig.WriteString(e.W[served[i]].Name)
+				sigs[i] = sig.String()
+				*deps = append(*deps, cmKey(sigs[i]))
+			}
+			par.ForEach(len(served), e.Workers, func(i int) {
+				q := e.W[served[i]]
+				designs[i] = e.Cache.cmDesign(sigs[i], func() *cm.CM {
+					return cm.Design(rel, q, cmCfg)
 				})
 			})
 			for _, cmDesign := range designs {
@@ -262,6 +279,7 @@ func (e *Evaluator) materializeObject(d *Design, md *costmodel.MVDesign) (*exec.
 					var sig strings.Builder
 					sig.WriteString(rSig)
 					sigInts(&sig, "tree:", []int{pos})
+					*deps = append(*deps, treeKey(sig.String()))
 					tree := e.Cache.tree(sig.String(), func() *btree.Tree {
 						return btree.BuildFromRelation(rel, []int{pos})
 					})

@@ -1,6 +1,8 @@
 package designer
 
 import (
+	"container/list"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -10,6 +12,17 @@ import (
 	"coradd/internal/exec"
 	"coradd/internal/storage"
 )
+
+// DefaultCacheBytes is the default ObjectCache capacity. Projected
+// relations and dense B+Trees dominate the footprint; a long budget sweep
+// at large scale factors would otherwise retain every distinct MV
+// projection it ever materialized. Override per cache with SetMaxBytes or
+// globally with the CORADD_CACHE_BYTES environment variable (bytes; ≤ 0
+// means unlimited).
+const DefaultCacheBytes = 1 << 30
+
+// cacheBytesEnv names the environment override for the capacity.
+const cacheBytesEnv = "CORADD_CACHE_BYTES"
 
 // ObjectCache reuses physical design artifacts across the many designs a
 // budget sweep evaluates. The designs CORADD, Commercial and Naive pick at
@@ -27,34 +40,71 @@ import (
 //   - whole objects by (relation signature, style-specific structures,
 //     PK-index columns): assembly of the above.
 //
-// All methods are safe for concurrent use; the parallel evaluator fans
-// Measure calls across goroutines. Concurrent misses on the same key may
-// build the same artifact twice — the build is deterministic, so whichever
-// write lands last is indistinguishable from the other. Cached artifacts
-// are shared and must be treated as immutable by callers.
+// Entries are charged their measured byte footprint and evicted in LRU
+// order once the configured capacity is exceeded, so the working set stays
+// bounded; an evicted artifact is simply rebuilt — deterministically — on
+// its next use. All methods are safe for concurrent use; the parallel
+// evaluator fans Measure calls across goroutines. Concurrent misses on the
+// same key may build the same artifact twice — the build is deterministic,
+// so whichever write lands last is indistinguishable from the other.
+// Cached artifacts are shared and must be treated as immutable by callers.
 type ObjectCache struct {
-	mu    sync.Mutex
-	rels  map[string]*storage.Relation
-	objs  map[string]*exec.Object
-	cms   map[string]*cm.CM // nil values recorded: "no CM helps" is a result too
-	trees map[string]*btree.Tree
-	plans map[string]exec.PlanSpec
+	mu      sync.Mutex
+	max     int64
+	used    int64
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
 
 	hits, misses int
 }
 
-// NewObjectCache returns an empty cache.
+// cacheEntry is one LRU node. deps lists the cache keys of the artifacts
+// this entry references (an assembled object's relation, trees and CMs):
+// a hit touches them too, and each dep carries a pin count while a
+// dependent entry lives. Eviction skips pinned entries — evicting a
+// component an object still references would free no memory (the object
+// keeps it reachable) while forcing a duplicate rebuild on the next
+// independent request; instead the object entry goes first, releasing
+// its pins so the components become evictable. Pins are taken when the
+// dependent entry is stored, so a component built during a still-running
+// object assembly is briefly unpinned and may be evicted under a very
+// tight cap with concurrent builds — the bound is soft by up to the
+// in-flight components, never incorrect (the dep loop skips missing keys
+// and a later miss rebuilds deterministically).
+type cacheEntry struct {
+	key   string
+	bytes int64
+	val   any
+	deps  []string
+	pins  int
+}
+
+// NewObjectCache returns an empty cache with the default (or
+// environment-overridden) capacity.
 func NewObjectCache() *ObjectCache {
+	max := int64(DefaultCacheBytes)
+	if v := os.Getenv(cacheBytesEnv); v != "" {
+		if parsed, err := strconv.ParseInt(v, 10, 64); err == nil {
+			max = parsed
+		}
+	}
 	return &ObjectCache{
-		rels:  make(map[string]*storage.Relation),
-		objs:  make(map[string]*exec.Object),
-		cms:   make(map[string]*cm.CM),
-		trees: make(map[string]*btree.Tree),
-		plans: make(map[string]exec.PlanSpec),
+		max:     max,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
 	}
 }
 
-// Stats reports cache effectiveness: total hits and misses across all four
+// SetMaxBytes changes the capacity (≤ 0 means unlimited) and evicts down
+// to it immediately.
+func (c *ObjectCache) SetMaxBytes(max int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.max = max
+	c.evictLocked()
+}
+
+// Stats reports cache effectiveness: total hits and misses across all
 // artifact kinds.
 func (c *ObjectCache) Stats() (hits, misses int) {
 	c.mu.Lock()
@@ -62,39 +112,115 @@ func (c *ObjectCache) Stats() (hits, misses int) {
 	return c.hits, c.misses
 }
 
+// UsedBytes reports the charged footprint of the cached artifacts.
+func (c *ObjectCache) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
 // Flush drops every cached artifact. Use when the underlying fact relation
-// changes (the cache never observes mutation itself).
+// changes (the cache never observes mutation itself), or between
+// experiment phases to release the previous phase's working set.
 func (c *ObjectCache) Flush() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.rels = make(map[string]*storage.Relation)
-	c.objs = make(map[string]*exec.Object)
-	c.cms = make(map[string]*cm.CM)
-	c.trees = make(map[string]*btree.Tree)
-	c.plans = make(map[string]exec.PlanSpec)
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+	c.used = 0
 }
 
-// memoGet is the one lock/hit/miss/build/store protocol behind every
-// accessor: m must be a map field of c. build returning ok=false means
-// "do not cache" (used for fallible builds); concurrent misses may build
-// twice, deterministically.
-func memoGet[V any](c *ObjectCache, m map[string]V, sig string, build func() (V, bool)) V {
+// evictLocked removes least-recently-used unpinned entries until the
+// footprint fits the capacity; pinned entries are rotated to the front
+// (their dependents are by construction at least as recent). The scan is
+// bounded by the list length, so a fully-pinned cache simply stays over
+// budget until dependents are evicted on a later call. Callers hold c.mu.
+func (c *ObjectCache) evictLocked() {
+	if c.max <= 0 {
+		return
+	}
+	for c.used > c.max {
+		evicted := false
+		for scan := c.lru.Len(); scan > 0 && c.used > c.max; scan-- {
+			back := c.lru.Back()
+			e := back.Value.(*cacheEntry)
+			if e.pins > 0 {
+				c.lru.MoveToFront(back)
+				continue
+			}
+			c.lru.Remove(back)
+			delete(c.entries, e.key)
+			c.used -= e.bytes
+			evicted = true
+			for _, d := range e.deps {
+				if del, ok := c.entries[d]; ok {
+					del.Value.(*cacheEntry).pins--
+				}
+			}
+		}
+		if !evicted {
+			break // everything left is pinned; dependents go first next time
+		}
+	}
+}
+
+// memoGetDeps is the one lock/hit/miss/build/store protocol behind every
+// accessor. build returning ok=false means "do not cache" (used for
+// fallible builds) and may report the dependency keys of the built
+// artifact; bytes reports the artifact's footprint charge. Concurrent
+// misses may build twice, deterministically.
+func memoGetDeps[V any](c *ObjectCache, key string, build func() (V, bool, []string), bytes func(V) int64) V {
 	c.mu.Lock()
-	if v, ok := m[sig]; ok {
+	if el, ok := c.entries[key]; ok {
 		c.hits++
+		c.lru.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		for _, d := range e.deps {
+			if del, ok := c.entries[d]; ok {
+				c.lru.MoveToFront(del)
+			}
+		}
+		v := e.val.(V)
 		c.mu.Unlock()
 		return v
 	}
 	c.misses++
 	c.mu.Unlock()
-	v, ok := build()
+	v, ok, deps := build()
 	if !ok {
 		return v
 	}
+	b := bytes(v)
+	if b < int64(len(key))+64 {
+		b = int64(len(key)) + 64 // floor: map key + bookkeeping
+	}
 	c.mu.Lock()
-	m[sig] = v
+	if el, exists := c.entries[key]; exists {
+		// A concurrent miss stored first; adopt the charge bookkeeping.
+		c.lru.MoveToFront(el)
+	} else if c.max > 0 && b > c.max {
+		// Never cache an artifact larger than the whole capacity: storing
+		// it would drain every other entry and then evict itself.
+	} else {
+		c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, bytes: b, val: v, deps: deps})
+		for _, d := range deps {
+			if del, ok := c.entries[d]; ok {
+				del.Value.(*cacheEntry).pins++
+			}
+		}
+		c.used += b
+		c.evictLocked()
+	}
 	c.mu.Unlock()
 	return v
+}
+
+// memoGet is memoGetDeps for dependency-free artifacts.
+func memoGet[V any](c *ObjectCache, key string, build func() (V, bool), bytes func(V) int64) V {
+	return memoGetDeps(c, key, func() (V, bool, []string) {
+		v, ok := build()
+		return v, ok, nil
+	}, bytes)
 }
 
 // always adapts an infallible build for memoGet.
@@ -102,44 +228,63 @@ func always[V any](build func() V) func() (V, bool) {
 	return func() (V, bool) { return build(), true }
 }
 
+// relKey/treeKey/cmKey build the cache keys component artifacts are
+// stored under, so object builders can declare them as dependencies.
+func relKey(sig string) string  { return "rel|" + sig }
+func treeKey(sig string) string { return "tree|" + sig }
+func cmKey(sig string) string   { return "cm|" + sig }
+
 // relation returns the cached projection for sig, building it on miss.
 func (c *ObjectCache) relation(sig string, build func() *storage.Relation) *storage.Relation {
-	return memoGet(c, c.rels, sig, always(build))
+	return memoGet(c, relKey(sig), always(build), func(r *storage.Relation) int64 {
+		return r.HeapBytes()
+	})
 }
 
 // object returns the cached assembled object for sig, building on miss.
-// Failed builds are not cached.
-func (c *ObjectCache) object(sig string, build func() (*exec.Object, error)) (*exec.Object, error) {
+// Failed builds are not cached. Objects are charged only their assembly
+// overhead: the relation, trees and CMs they reference carry their own
+// entries, declared as dependencies (via the build's deps collector) so
+// an object hit keeps its pinned components hot.
+func (c *ObjectCache) object(sig string, build func(deps *[]string) (*exec.Object, error)) (*exec.Object, error) {
 	var err error
-	o := memoGet(c, c.objs, sig, func() (*exec.Object, bool) {
+	o := memoGetDeps(c, "obj|"+sig, func() (*exec.Object, bool, []string) {
+		var deps []string
 		var o *exec.Object
-		o, err = build()
-		return o, err == nil
-	})
+		o, err = build(&deps)
+		return o, err == nil, deps
+	}, func(*exec.Object) int64 { return 0 })
 	return o, err
 }
 
 // cmDesign returns the cached CM Designer outcome for sig, running the
 // designer on miss. A nil CM ("no CM helps") is a cached result too.
 func (c *ObjectCache) cmDesign(sig string, design func() *cm.CM) *cm.CM {
-	return memoGet(c, c.cms, sig, always(design))
+	return memoGet(c, cmKey(sig), always(design), func(m *cm.CM) int64 {
+		if m == nil {
+			return 0
+		}
+		return m.Bytes()
+	})
 }
 
 // plan returns the cached plan choice for sig, choosing on miss. Only
 // successful choices are cached; choose re-runs after an error.
 func (c *ObjectCache) plan(sig string, choose func() (exec.PlanSpec, error)) (exec.PlanSpec, error) {
 	var err error
-	s := memoGet(c, c.plans, sig, func() (exec.PlanSpec, bool) {
+	s := memoGet(c, "plan|"+sig, func() (exec.PlanSpec, bool) {
 		var s exec.PlanSpec
 		s, err = choose()
 		return s, err == nil
-	})
+	}, func(exec.PlanSpec) int64 { return 0 })
 	return s, err
 }
 
 // tree returns the cached dense B+Tree for sig, building on miss.
 func (c *ObjectCache) tree(sig string, build func() *btree.Tree) *btree.Tree {
-	return memoGet(c, c.trees, sig, always(build))
+	return memoGet(c, treeKey(sig), always(build), func(t *btree.Tree) int64 {
+		return t.Bytes()
+	})
 }
 
 // sigInts appends label plus a comma-separated int list to b.

@@ -197,3 +197,46 @@ func TestParallelEvaluationDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestCacheLRUEviction(t *testing.T) {
+	ev, d, _ := cacheFixture(t, 4000)
+	if _, err := ev.Measure(d); err != nil {
+		t.Fatal(err)
+	}
+	used := ev.Cache.UsedBytes()
+	if used <= 0 {
+		t.Fatal("cache reports no footprint after a measure")
+	}
+	// Shrink below the current footprint: eviction must bring usage down.
+	ev.Cache.SetMaxBytes(used / 2)
+	if got := ev.Cache.UsedBytes(); got > used/2 {
+		t.Fatalf("UsedBytes=%d after SetMaxBytes(%d)", got, used/2)
+	}
+	// Evicted artifacts rebuild deterministically: results are unchanged.
+	r1, err := ev.Measure(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Cache.Flush()
+	r2, err := ev.Measure(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range r1.Sums {
+		if r1.Sums[qi] != r2.Sums[qi] || r1.PerQuery[qi] != r2.PerQuery[qi] {
+			t.Fatalf("query %d differs after eviction: %v/%v vs %v/%v",
+				qi, r1.Sums[qi], r1.PerQuery[qi], r2.Sums[qi], r2.PerQuery[qi])
+		}
+	}
+}
+
+func TestCacheEnvOverride(t *testing.T) {
+	t.Setenv("CORADD_CACHE_BYTES", "12345")
+	c := NewObjectCache()
+	c.mu.Lock()
+	max := c.max
+	c.mu.Unlock()
+	if max != 12345 {
+		t.Fatalf("max = %d, want 12345 from env", max)
+	}
+}

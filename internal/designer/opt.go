@@ -80,6 +80,6 @@ func (d *OPT) NumCandidates() int { return len(d.designs) }
 // Design implements Designer.
 func (d *OPT) Design(budget int64) (*Design, error) {
 	prob, aligned := feedback.BuildProblem(d.Gen, d.designs, d.base, budget)
-	sol := ilp.Solve(prob, ilp.SolveOptions{})
+	sol := ilp.Solve(prob, d.Solve)
 	return routedDesign(d.Name(), StyleCORADD, &d.Common, d.Model, budget, aligned, sol), nil
 }

@@ -3,19 +3,25 @@ package exp
 import (
 	"coradd/internal/apb"
 	"coradd/internal/designer"
+	"coradd/internal/ilp"
 	"coradd/internal/par"
 	"coradd/internal/stats"
 	"coradd/internal/storage"
 )
 
 // ComparisonPoint is one budget point of Figures 9 and 11: real and
-// model-expected totals per designer.
+// model-expected totals per designer, plus the ILP's selection cost.
 type ComparisonPoint struct {
 	Budget int64
 	// Real simulated totals (seconds).
 	CORADD, Commercial, Naive float64
 	// Model-expected totals.
 	CORADDModel, CommercialModel float64
+	// CORADDNodes is the branch-and-bound node total of CORADD's selection
+	// (across feedback iterations); CORADDProven whether every solve in
+	// the loop proved optimality within the node budget.
+	CORADDNodes  int
+	CORADDProven bool
 }
 
 // NewAPBEnv generates the APB-1 environment.
@@ -28,6 +34,7 @@ func NewAPBEnv(s Scale) *Env {
 		Common: designer.Common{
 			St: st, W: w, Disk: storage.DefaultDiskParams(),
 			PKCols: apb.PKCols(rel.Schema), BaseKey: rel.ClusterKey,
+			Solve: ilp.SolveOptions{Workers: solverWorkers()},
 		},
 	}
 }
@@ -151,6 +158,8 @@ func runComparison(env *Env, withNaive bool) ([]ComparisonPoint, *Table, error) 
 			CORADDModel:     runs[i].dc.TotalExpected(env.W),
 			Commercial:      results[i].rm.Total,
 			CommercialModel: runs[i].dm.TotalExpected(env.W),
+			CORADDNodes:     runs[i].dc.SolverNodes,
+			CORADDProven:    runs[i].dc.SolverProven,
 		}
 		row := []string{mb(budget), f3(p.CORADD), f3(p.CORADDModel), f3(p.Commercial), f3(p.CommercialModel)}
 		if withNaive {

@@ -8,12 +8,15 @@ package exp
 import (
 	"fmt"
 	"io"
+	"os"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 
 	"coradd/internal/candgen"
 	"coradd/internal/designer"
 	"coradd/internal/feedback"
+	"coradd/internal/ilp"
 	"coradd/internal/query"
 	"coradd/internal/ssb"
 	"coradd/internal/stats"
@@ -113,6 +116,16 @@ func (e *Env) Evaluator() *designer.Evaluator {
 	return e.evaluator
 }
 
+// FlushCaches drops the environment's materialization cache, releasing
+// the previous experiment phase's physical objects. Call between phases
+// of a long sweep; repeated runs of one experiment (the benchmarks) keep
+// the cache warm on purpose.
+func (e *Env) FlushCaches() {
+	if e.evaluator != nil {
+		e.evaluator.Cache.Flush()
+	}
+}
+
 // Budgets converts the scale's multipliers into byte budgets for the
 // environment's fact heap.
 func (e *Env) Budgets() []int64 {
@@ -121,6 +134,20 @@ func (e *Env) Budgets() []int64 {
 		out[i] = int64(m * float64(e.Rel.HeapBytes()))
 	}
 	return out
+}
+
+// solverWorkers reads the CORADD_SOLVER_WORKERS override: on multi-core
+// hardware it switches every designer's exact solves to the deterministic
+// parallel subtree search with that many workers. Unset or ≤ 1 keeps the
+// sequential search (the right default on this repo's 1-CPU runners).
+// Results are identical either way; only wall time changes.
+func solverWorkers() int {
+	if v := os.Getenv("CORADD_SOLVER_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return 0
 }
 
 // NewSSBEnv generates the SSB environment; augmented selects the 52-query
@@ -143,6 +170,7 @@ func NewSSBEnv(s Scale, augmented bool) *Env {
 		Common: designer.Common{
 			St: st, W: w, Disk: storage.DefaultDiskParams(),
 			PKCols: ssb.PKCols(rel.Schema), BaseKey: rel.ClusterKey,
+			Solve: ilp.SolveOptions{Workers: solverWorkers()},
 		},
 	}
 }

@@ -16,6 +16,7 @@ type SelectionPoint struct {
 	ILPExpected   float64 // expected total workload runtime, exact ILP
 	GreedyExpect  float64 // same candidates, Greedy(m,k)
 	ILPNodes      int
+	ILPProven     bool
 	GreedyChosen  int
 	ILPChosenObjs int
 }
@@ -38,11 +39,12 @@ func ILPVersusGreedy(env *Env) ([]SelectionPoint, *Table) {
 	par.ForEach(len(budgets), 0, func(i int) {
 		p := *prob
 		p.Budget = budgets[i]
-		exact := ilp.Solve(&p, ilp.SolveOptions{})
+		exact := ilp.Solve(&p, ilp.SolveOptions{Workers: solverWorkers()})
 		greedy := ilp.Greedy(&p, 2, 0)
 		pts[i] = SelectionPoint{
 			Budget: budgets[i], ILPExpected: exact.Objective, GreedyExpect: greedy.Objective,
-			ILPNodes: exact.Nodes, GreedyChosen: len(greedy.Chosen), ILPChosenObjs: len(exact.Chosen),
+			ILPNodes: exact.Nodes, ILPProven: exact.Proven,
+			GreedyChosen: len(greedy.Chosen), ILPChosenObjs: len(exact.Chosen),
 		}
 	})
 	for _, p := range pts {
@@ -81,7 +83,7 @@ func ILPSolverScaling(sizes []int, numQueries int, seed int64) ([]ScalingPoint, 
 	for _, n := range sizes {
 		prob := syntheticProblem(n, numQueries, seed)
 		start := time.Now()
-		sol := ilp.Solve(prob, ilp.SolveOptions{MaxNodes: 2_000_000})
+		sol := ilp.Solve(prob, ilp.SolveOptions{MaxNodes: 2_000_000, Workers: solverWorkers()})
 		el := time.Since(start).Seconds()
 		pts = append(pts, ScalingPoint{Candidates: n, Seconds: el, Nodes: sol.Nodes, Proven: sol.Proven})
 		t.Rows = append(t.Rows, []string{
@@ -154,7 +156,7 @@ func RelaxationError(env *Env, maxCands int) ([]RelaxPoint, *Table) {
 	for _, budget := range env.Budgets() {
 		prob, _ := feedback.BuildProblem(d.Gen, d.Candidates(), base, budget)
 		prob = truncateProblem(prob, maxCands)
-		exact := ilp.Solve(prob, ilp.SolveOptions{})
+		exact := ilp.Solve(prob, ilp.SolveOptions{Workers: solverWorkers()})
 		relax, err := ilp.SolveRelaxed(prob)
 		if err != nil {
 			continue

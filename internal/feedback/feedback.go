@@ -46,6 +46,11 @@ type Result struct {
 	Iters int
 	// Added is the number of candidates feedback contributed.
 	Added int
+	// Nodes is the total branch-and-bound node count across every solve
+	// the loop ran, and Proven whether every one of them proved
+	// optimality (the selection-cost telemetry EXPERIMENTS.md tracks).
+	Nodes  int
+	Proven bool
 }
 
 // BuildProblem prices every design against every query with the model in g
@@ -110,7 +115,7 @@ func Run(g *candgen.Generator, designs []*costmodel.MVDesign, base []float64, bu
 
 	prob, aligned := BuildProblem(g, pool, base, budget)
 	sol := ilp.Solve(prob, cfg.Solve)
-	res := &Result{Sol: sol, Prob: prob, Designs: aligned}
+	res := &Result{Sol: sol, Prob: prob, Designs: aligned, Nodes: sol.Nodes, Proven: sol.Proven}
 
 	for iter := 1; iter <= maxIters; iter++ {
 		added := 0
@@ -130,6 +135,8 @@ func Run(g *candgen.Generator, designs []*costmodel.MVDesign, base []float64, bu
 		prob, aligned = BuildProblem(g, pool, base, budget)
 		sol = ilp.Solve(prob, cfg.Solve)
 		res.Sol, res.Prob, res.Designs = sol, prob, aligned
+		res.Nodes += sol.Nodes
+		res.Proven = res.Proven && sol.Proven
 	}
 	return res
 }

@@ -1,14 +1,15 @@
 package ilp
 
 import (
-	"math"
 	"sort"
 	"time"
 )
 
 // Solution is the outcome of Solve or Greedy.
 type Solution struct {
-	// Chosen are indexes into Problem.Cands.
+	// Chosen are indexes into Problem.Cands, in discovery order
+	// (preprocessing-fixed candidates first, then the incumbent's or the
+	// search's inclusion order).
 	Chosen []int
 	// Objective is the total expected workload runtime of the design.
 	Objective float64
@@ -26,22 +27,47 @@ type Solution struct {
 
 // SolveOptions tunes the exact solver.
 type SolveOptions struct {
-	// MaxNodes caps search nodes; 0 means 5,000,000.
+	// MaxNodes caps search nodes; 0 means 5,000,000. In parallel mode the
+	// cap applies per subtree, so the total may exceed it.
 	MaxNodes int
-	// TimeLimit caps wall time; 0 means none.
+	// TimeLimit caps wall time; 0 means none. A triggered time limit is the
+	// one intentionally nondeterministic cutoff (Proven reports it).
 	TimeLimit time.Duration
+	// Workers selects deterministic parallel subtree search when > 1; 0 or
+	// 1 keeps the sequential depth-first search (the 1-CPU default). For a
+	// fixed (problem, Workers) pair results are bit-identical run to run,
+	// and Chosen/Objective match sequential mode.
+	Workers int
+	// NoPreprocess disables the budget-aware reduction pass (dominance.go).
+	NoPreprocess bool
+	// NoLagrangian disables the Lagrangian budget bound (lagrange.go).
+	NoLagrangian bool
+	// NoPolish disables the local-search polish of the greedy incumbent.
+	NoPolish bool
 }
 
 // Solve finds the optimal candidate subset by depth-first branch-and-bound.
 //
+// Pipeline: a preprocessing pass first shrinks the problem — candidates
+// that cannot fit, help no query, or are dominated are removed, and
+// candidates that always fit are fixed (dominance.go). The search then
+// runs on the reduced problem and the solution is lifted back to original
+// candidate indexes.
+//
 // Ordering: candidates are considered in decreasing benefit density
 // (workload-runtime saved per byte), so good incumbents appear early.
-// Bound: at a node, the optimistic objective lets every query use the best
-// of {already chosen} ∪ {undecided candidates that individually fit the
-// remaining budget}. That relaxes both the budget (only per-candidate
-// feasibility) and the fact-group rule, so it never exceeds the true
-// optimum below the node — an admissible bound.
+// Bound: at a node, the larger of two admissible bounds. The greedy bound
+// lets every query use the best of {already chosen} ∪ {undecided
+// candidates that individually fit the remaining budget}, relaxing the
+// budget to per-candidate feasibility and dropping the fact-group rule.
+// The Lagrangian bound dualizes the space budget with a root-optimized
+// multiplier (lagrange.go) and dominates the greedy bound when the budget
+// constraint is what binds. Both are maintained incrementally along
+// exclude chains, bit-identically to full recomputation.
 func Solve(p *Problem, opts SolveOptions) *Solution {
+	red := reduce(p, opts)
+	rp := red.p
+
 	maxNodes := opts.MaxNodes
 	if maxNodes <= 0 {
 		maxNodes = 5_000_000
@@ -50,35 +76,101 @@ func Solve(p *Problem, opts SolveOptions) *Solution {
 	if opts.TimeLimit > 0 {
 		deadline = time.Now().Add(opts.TimeLimit)
 	}
-	order := orderByDensity(p)
-	nQ := p.numQueries()
+	order := orderByDensity(rp)
 
-	// Incumbent from greedy.
-	inc := Greedy(p, 2, len(p.Cands))
-	bestObj := inc.Objective
-	bestChosen := append([]int(nil), inc.Chosen...)
-
-	// bestTimes[q]: current best time for q from chosen candidates.
-	bestTimes := make([]float64, nQ)
-	copy(bestTimes, p.Base)
-
-	// For the bound: per query, candidate indexes sorted by time ascending.
-	perQ := sortedPerQuery(p)
-
-	s := &solver{
-		p: p, order: order, perQ: perQ,
-		maxNodes: maxNodes, deadline: deadline,
-		bestObj: bestObj, bestChosen: bestChosen,
-		proven: true,
+	// Incumbent from greedy on the reduced problem, optionally polished by
+	// local search — the cheapest node-count lever the search has.
+	inc := Greedy(rp, 2, len(rp.Cands))
+	incChosen, incObj := append([]int(nil), inc.Chosen...), inc.Objective
+	if !opts.NoPolish {
+		incChosen, incObj = polish(rp, incChosen, incObj)
 	}
-	s.decided = make([]int8, len(p.Cands))
-	// Flatten the hot per-node lookups: per-query candidate times aligned
-	// with perQ (the bound scans them contiguously instead of chasing each
-	// candidate's Times slice), plus weights and sizes as dense slices.
+
+	s := newSolver(rp, order, maxNodes, deadline)
+	s.bestObj = incObj
+	s.bestChosen = incChosen
+	if !opts.NoLagrangian {
+		s.lag = newLagrangian(rp, s, incObj)
+	}
+
+	if opts.Workers > 1 {
+		s.solveParallel(opts.Workers)
+	} else {
+		bestTimes := make([]float64, s.nQ)
+		copy(bestTimes, rp.Base)
+		s.dfs(0, 0, bestTimes, s.objectiveOf(bestTimes), -1, nil, map[int]bool{})
+	}
+
+	return red.lift(p, s)
+}
+
+// solver carries the precomputed tables (shared, read-only after
+// construction) and the mutable search state of one depth-first search.
+// Parallel subtree search clones the mutable part per subtree (parallel.go).
+type solver struct {
+	p        *Problem
+	order    []int
+	perQ     [][]int
+	nQ       int
+	maxNodes int
+	deadline time.Time
+
+	// perQTimes[q][r] is the runtime of candidate perQ[q][r] on q; weights
+	// and sizes are the dense forms of Problem.weight and Candidate.Size.
+	perQTimes [][]float64
+	weights   []float64
+	sizes     []int64
+	// lag is the Lagrangian budget bound, nil when disabled or when the
+	// root multiplier degenerates to zero (identical to the greedy bound).
+	lag *lagrangian
+
+	// Mutable search state.
+	decided []int8 // 0 undecided, 1 included, 2 excluded
+	// pickBuf[d][q] / contribBuf[d][q] hold, for the node at depth d, the
+	// candidate the greedy bound let q use (-1 = none) and q's weighted
+	// bound contribution; lagPickBuf/lagContribBuf are the Lagrangian
+	// bound's equivalents (lagrange.go). Rows are allocated on first use:
+	// shallow searches (the common case once the bound closes at the
+	// root) never touch most depths.
+	pickBuf       [][]int32
+	contribBuf    [][]float64
+	lagPickBuf    [][]int32
+	lagContribBuf [][]float64
+	// timesBuf[d] backs the include branch's new times vector at depth d,
+	// so the hot path allocates each depth's buffer once per search.
+	timesBuf [][]float64
+
+	nodes      int
+	bestObj    float64
+	bestChosen []int
+	proven     bool
+	// lagWins counts nodes the Lagrangian bound pruned that the greedy
+	// bound alone would not have; at the lagProbeNodes checkpoint a
+	// solver that saw too few wins disarms the Lagrangian for the rest of
+	// its search (the checkpoint is a fixed node ordinal, so the decision
+	// is deterministic).
+	lagWins int
+
+	// frontier/leaves drive the parallel decomposition (parallel.go): when
+	// frontier ≥ 0, dfs snapshots state at that depth instead of
+	// descending.
+	frontier int
+	leaves   []subtree
+}
+
+// newSolver precomputes the dense lookup tables for p.
+func newSolver(p *Problem, order []int, maxNodes int, deadline time.Time) *solver {
+	nQ := p.numQueries()
+	s := &solver{
+		p: p, order: order, nQ: nQ,
+		maxNodes: maxNodes, deadline: deadline,
+		proven: true, frontier: -1,
+	}
+	s.perQ = sortedPerQuery(p)
 	s.perQTimes = make([][]float64, nQ)
-	for q := range perQ {
-		ts := make([]float64, len(perQ[q]))
-		for r, m := range perQ[q] {
+	for q := range s.perQ {
+		ts := make([]float64, len(s.perQ[q]))
+		for r, m := range s.perQ[q] {
 			ts[r] = p.Cands[m].Times[q]
 		}
 		s.perQTimes[q] = ts
@@ -91,52 +183,37 @@ func Solve(p *Problem, opts SolveOptions) *Solution {
 	for m := range p.Cands {
 		s.sizes[m] = p.Cands[m].Size
 	}
-	// Per-depth bound scratch: depth d's buffers stay valid while its
-	// subtree runs, so an exclude child can reuse its parent's per-query
-	// picks and contributions instead of rescanning every query.
+	s.decided = make([]int8, len(p.Cands))
 	s.pickBuf = make([][]int32, len(p.Cands)+1)
 	s.contribBuf = make([][]float64, len(p.Cands)+1)
-	for d := range s.pickBuf {
-		s.pickBuf[d] = make([]int32, nQ)
-		s.contribBuf[d] = make([]float64, nQ)
-	}
-	factUsed := map[int]bool{}
-	s.dfs(0, 0, bestTimes, s.objectiveOf(bestTimes), -1, nil, factUsed)
-
-	sol := &Solution{
-		Chosen:    s.bestChosen,
-		Objective: s.bestObj,
-		Size:      p.SizeOf(s.bestChosen),
-		Proven:    s.proven,
-		Nodes:     s.nodes,
-	}
-	sol.PerQuery = perQueryRouting(p, sol.Chosen)
-	return sol
+	s.lagPickBuf = make([][]int32, len(p.Cands)+1)
+	s.lagContribBuf = make([][]float64, len(p.Cands)+1)
+	s.timesBuf = make([][]float64, len(p.Cands)+1)
+	return s
 }
 
-type solver struct {
-	p        *Problem
-	order    []int
-	perQ     [][]int
-	decided  []int8 // 0 undecided, 1 included, 2 excluded
-	maxNodes int
-	deadline time.Time
+// lagProbeNodes is the node ordinal at which a solver reviews whether the
+// Lagrangian bound is earning its per-node cost.
+const lagProbeNodes = 16384
 
-	// perQTimes[q][r] is the runtime of candidate perQ[q][r] on q; weights
-	// and sizes are the dense forms of Problem.weight and Candidate.Size.
-	perQTimes [][]float64
-	weights   []float64
-	sizes     []int64
-	// pickBuf[d][q] / contribBuf[d][q] hold, for the node at depth d, the
-	// candidate the bound let q use (-1 = none) and q's weighted bound
-	// contribution.
-	pickBuf    [][]int32
-	contribBuf [][]float64
+// timesRow returns the include branch's times buffer for depth d.
+func (s *solver) timesRow(d int) []float64 {
+	if s.timesBuf[d] == nil {
+		s.timesBuf[d] = make([]float64, s.nQ)
+	}
+	return s.timesBuf[d]
+}
 
-	nodes      int
-	bestObj    float64
-	bestChosen []int
-	proven     bool
+// row ensures the per-depth scratch buffers for depth d exist.
+func (s *solver) row(d int) {
+	if s.pickBuf[d] == nil {
+		s.pickBuf[d] = make([]int32, s.nQ)
+		s.contribBuf[d] = make([]float64, s.nQ)
+	}
+	if s.lag != nil && s.lagPickBuf[d] == nil {
+		s.lagPickBuf[d] = make([]int32, s.nQ)
+		s.lagContribBuf[d] = make([]float64, s.nQ)
+	}
 }
 
 // objectiveOf sums the weighted per-query times in query order (the one
@@ -154,12 +231,30 @@ func (s *solver) objectiveOf(bestTimes []float64) float64 {
 // chosen their indexes. cur is recomputed only when the chosen set changes
 // (the exclude branch reuses the parent's value, which is identical).
 // excluded names the candidate the parent just excluded (-1 after an
-// include or at the root), enabling the incremental bound.
+// include or at a subtree root), enabling the incremental bound.
 func (s *solver) dfs(pos int, usedSize int64, bestTimes []float64, cur float64, excluded int, chosen []int, factUsed map[int]bool) {
+	if pos == s.frontier {
+		fu := make(map[int]bool, len(factUsed))
+		for g := range factUsed {
+			fu[g] = true
+		}
+		s.leaves = append(s.leaves, subtree{
+			usedSize:  usedSize,
+			bestTimes: append([]float64(nil), bestTimes...),
+			cur:       cur,
+			chosen:    append([]int(nil), chosen...),
+			factUsed:  fu,
+			decided:   append([]int8(nil), s.decided...),
+		})
+		return
+	}
 	s.nodes++
 	if s.nodes > s.maxNodes || (!s.deadline.IsZero() && s.nodes%1024 == 0 && time.Now().After(s.deadline)) {
 		s.proven = false
 		return
+	}
+	if s.lag != nil && s.nodes == lagProbeNodes && s.lagWins*100 < s.nodes {
+		s.lag = nil // pruning <1% of nodes: not worth its per-node cost
 	}
 	if cur < s.bestObj-1e-12 {
 		s.bestObj = cur
@@ -168,17 +263,7 @@ func (s *solver) dfs(pos int, usedSize int64, bestTimes []float64, cur float64, 
 	if pos >= len(s.order) {
 		return
 	}
-	// Admissible bound: full scan after an include (times and budget both
-	// changed), an incremental update over the parent's per-query picks
-	// after an exclude (only queries whose pick was just excluded can
-	// change — both paths produce bit-identical totals).
-	var b float64
-	if excluded < 0 || pos == 0 {
-		b = s.boundFull(bestTimes, usedSize, pos)
-	} else {
-		b = s.boundExcluded(bestTimes, usedSize, pos, excluded)
-	}
-	if b >= s.bestObj-1e-12 {
+	if s.bound(pos, usedSize, bestTimes, excluded) >= s.bestObj-1e-12 {
 		return
 	}
 	m := s.order[pos]
@@ -187,24 +272,26 @@ func (s *solver) dfs(pos int, usedSize int64, bestTimes []float64, cur float64, 
 	factOK := cand.FactGroup <= 0 || !factUsed[cand.FactGroup]
 
 	if fits && factOK {
-		// Include m.
+		// Include m. The new times and their objective are built in one
+		// pass — the sum visits queries in the same order as objectiveOf,
+		// so the value is bit-identical.
 		s.decided[m] = 1
-		newTimes := make([]float64, len(bestTimes))
+		newTimes := s.timesRow(pos + 1)
 		improved := false
-		for q := range bestTimes {
-			t := cand.Times[q]
-			if t < bestTimes[q] {
-				newTimes[q] = t
+		newObj := 0.0
+		for q, t := range bestTimes {
+			if tc := cand.Times[q]; tc < t {
+				t = tc
 				improved = true
-			} else {
-				newTimes[q] = bestTimes[q]
 			}
+			newTimes[q] = t
+			newObj += s.weights[q] * t
 		}
 		if improved {
 			if cand.FactGroup > 0 {
 				factUsed[cand.FactGroup] = true
 			}
-			s.dfs(pos+1, usedSize+cand.Size, newTimes, s.objectiveOf(newTimes), -1, append(chosen, m), factUsed)
+			s.dfs(pos+1, usedSize+cand.Size, newTimes, newObj, -1, append(chosen, m), factUsed)
 			if cand.FactGroup > 0 {
 				delete(factUsed, cand.FactGroup)
 			}
@@ -215,6 +302,39 @@ func (s *solver) dfs(pos int, usedSize int64, bestTimes []float64, cur float64, 
 	s.decided[m] = 2
 	s.dfs(pos+1, usedSize, bestTimes, cur, m, chosen, factUsed)
 	s.decided[m] = 0
+}
+
+// bound computes the node's admissible bound: the greedy relaxation, or
+// the larger of it and the Lagrangian bound when the latter is armed. A
+// full scan runs after an include (times and budget both changed); an
+// incremental update over the parent's per-query picks runs after an
+// exclude (only queries whose pick was just excluded can change) — both
+// paths produce bit-identical totals, for each bound.
+func (s *solver) bound(pos int, usedSize int64, bestTimes []float64, excluded int) float64 {
+	s.row(pos)
+	var b float64
+	if excluded < 0 || pos == 0 {
+		b = s.boundFull(bestTimes, usedSize, pos)
+		if s.lag != nil {
+			if lb := s.lagBoundFull(bestTimes, usedSize, pos); lb > b {
+				if lb >= s.bestObj-1e-12 && b < s.bestObj-1e-12 {
+					s.lagWins++ // a prune the greedy bound alone would miss
+				}
+				b = lb
+			}
+		}
+	} else {
+		b = s.boundExcluded(bestTimes, usedSize, pos, excluded)
+		if s.lag != nil {
+			if lb := s.lagBoundExcluded(bestTimes, usedSize, pos, excluded); lb > b {
+				if lb >= s.bestObj-1e-12 && b < s.bestObj-1e-12 {
+					s.lagWins++
+				}
+				b = lb
+			}
+		}
+	}
+	return b
 }
 
 // boundQuery scans query q's ascending candidate list for the first
@@ -312,7 +432,7 @@ func sortedPerQuery(p *Problem) [][]int {
 	for q := 0; q < nQ; q++ {
 		var idx []int
 		for m := range p.Cands {
-			if !math.IsInf(p.Cands[m].Times[q], 1) {
+			if p.Cands[m].Times[q] < Infeasible {
 				idx = append(idx, m)
 			}
 		}
@@ -339,73 +459,4 @@ func perQueryRouting(p *Problem, chosen []int) []int {
 		}
 	}
 	return out
-}
-
-// Greedy implements Greedy(m,k) (Chaudhuri & Narasayya, VLDB 1997; §5.2):
-// exhaustively pick the best feasible seed set of at most seedM candidates,
-// then greedily add the candidate with the largest runtime improvement
-// until the budget is exhausted or k candidates are chosen.
-func Greedy(p *Problem, seedM, k int) *Solution {
-	if k <= 0 {
-		k = len(p.Cands)
-	}
-	bestSeed := []int{}
-	bestObj := p.Objective(nil)
-	// Exhaustive seeds of size 1..seedM (the paper recommends m=2).
-	var rec func(start int, cur []int)
-	rec = func(start int, cur []int) {
-		if len(cur) > 0 {
-			if p.Feasible(cur) {
-				if obj := p.Objective(cur); obj < bestObj-1e-12 {
-					bestObj = obj
-					bestSeed = append([]int(nil), cur...)
-				}
-			} else {
-				return
-			}
-		}
-		if len(cur) == seedM {
-			return
-		}
-		for m := start; m < len(p.Cands); m++ {
-			rec(m+1, append(cur, m))
-		}
-	}
-	rec(0, nil)
-
-	chosen := append([]int(nil), bestSeed...)
-	obj := p.Objective(chosen)
-	for len(chosen) < k {
-		bestM, bestNew := -1, obj
-		for m := range p.Cands {
-			if contains(chosen, m) {
-				continue
-			}
-			trial := append(append([]int(nil), chosen...), m)
-			if !p.Feasible(trial) {
-				continue
-			}
-			if o := p.Objective(trial); o < bestNew-1e-12 {
-				bestNew = o
-				bestM = m
-			}
-		}
-		if bestM < 0 {
-			break
-		}
-		chosen = append(chosen, bestM)
-		obj = bestNew
-	}
-	sol := &Solution{Chosen: chosen, Objective: obj, Size: p.SizeOf(chosen), Proven: false}
-	sol.PerQuery = perQueryRouting(p, chosen)
-	return sol
-}
-
-func contains(s []int, v int) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
 }

@@ -111,59 +111,5 @@ func (p *Problem) Feasible(chosen []int) bool {
 	return true
 }
 
-// PruneDominated removes dominated candidates (§5.3): m is dominated by m'
-// when size(m') ≤ size(m) and, for every query m can serve, m' serves it at
-// least as fast. Returns the surviving candidates and their original
-// indexes. Fact-group candidates are only compared within their group so
-// the at-most-one constraint stays meaningful.
-func PruneDominated(cands []Candidate) (kept []Candidate, origIdx []int) {
-	n := len(cands)
-	dominated := make([]bool, n)
-	for i := 0; i < n; i++ {
-		if dominated[i] {
-			continue
-		}
-		for j := 0; j < n; j++ {
-			if i == j || dominated[j] || dominated[i] {
-				continue
-			}
-			if cands[i].FactGroup != cands[j].FactGroup {
-				continue
-			}
-			if dominates(&cands[j], &cands[i]) {
-				dominated[i] = true
-			}
-		}
-	}
-	for i := 0; i < n; i++ {
-		if !dominated[i] {
-			kept = append(kept, cands[i])
-			origIdx = append(origIdx, i)
-		}
-	}
-	return kept, origIdx
-}
-
-// dominates reports whether a dominates b: a is no larger, serves every
-// query b serves, at least as fast, and is strictly better on size or some
-// query (so identical twins don't eliminate each other both ways).
-func dominates(a, b *Candidate) bool {
-	if a.Size > b.Size {
-		return false
-	}
-	strict := a.Size < b.Size
-	for q := range b.Times {
-		bt := b.Times[q]
-		if math.IsInf(bt, 1) {
-			continue
-		}
-		at := a.Times[q]
-		if at > bt {
-			return false
-		}
-		if at < bt {
-			strict = true
-		}
-	}
-	return strict
-}
+// PruneDominated (dominance pruning, §5.3) lives in dominance.go together
+// with the solver's budget-aware preprocessing pass.

@@ -1,0 +1,133 @@
+package ilp
+
+import (
+	"coradd/internal/par"
+)
+
+// subtree is one frontier node of the parallel decomposition: the full
+// search state of a depth-d prefix whose descendants form an independent
+// subproblem.
+type subtree struct {
+	usedSize  int64
+	bestTimes []float64
+	cur       float64
+	chosen    []int
+	factUsed  map[int]bool
+	decided   []int8
+}
+
+// taskResult is one subtree's outcome.
+type taskResult struct {
+	obj    float64
+	chosen []int
+	nodes  int
+	proven bool
+}
+
+// solveParallel runs the deterministic parallel subtree search: the tree
+// is split at a fixed frontier depth by a sequential enumeration pass
+// (identical, node for node, to the upper levels of a sequential search
+// pruned against the greedy incumbent), and the resulting independent
+// subproblems are solved on the worker pool.
+//
+// Determinism: subtree i prunes with the incumbent assembled from the
+// enumeration pass plus the published results of subtrees 0..i−W (W =
+// worker count) — a deterministic prefix it explicitly waits for, rather
+// than a timing-dependent read of whatever siblings have finished. Results
+// are merged in fixed subtree order with the same strict-improvement rule
+// the sequential search applies, so for a fixed (problem, Workers) pair
+// Chosen, Objective and Nodes are bit-identical run to run, and
+// Chosen/Objective match the sequential mode (node counts differ: later
+// subtrees prune against a slightly staler incumbent than a sequential
+// scan would have).
+//
+// The waiting scheme cannot deadlock: tasks are claimed in index order, so
+// if every worker were blocked, the smallest blocked index i waits on some
+// j ≤ i−W, and j — claimed before i, not finished, not being run by any
+// blocked worker — would have to be running on a free worker.
+func (s *solver) solveParallel(workers int) {
+	depth := 1
+	for (1<<depth) < 4*workers && depth < 12 {
+		depth++
+	}
+	if depth > len(s.order)/2 {
+		depth = len(s.order) / 2
+	}
+	bestTimes := make([]float64, s.nQ)
+	copy(bestTimes, s.p.Base)
+	if depth < 1 {
+		s.dfs(0, 0, bestTimes, s.objectiveOf(bestTimes), -1, nil, map[int]bool{})
+		return
+	}
+
+	// Enumeration pass: a depth-limited sequential search that captures
+	// every surviving depth-d prefix (dfs snapshots state and returns when
+	// it reaches s.frontier).
+	s.frontier = depth
+	s.dfs(0, 0, bestTimes, s.objectiveOf(bestTimes), -1, nil, map[int]bool{})
+	s.frontier = -1
+	leaves := s.leaves
+	s.leaves = nil
+	if len(leaves) == 0 {
+		return // the enumeration pruned everything; it was the full search
+	}
+
+	w := workers
+	if w > len(leaves) {
+		w = len(leaves)
+	}
+	results := make([]taskResult, len(leaves))
+	done := make([]chan struct{}, len(leaves))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	enumBest := s.bestObj
+	par.ForEach(len(leaves), w, func(i int) {
+		defer close(done[i])
+		inc := enumBest
+		for j := 0; j <= i-w; j++ {
+			<-done[j]
+			if results[j].obj < inc {
+				inc = results[j].obj
+			}
+		}
+		t := s.task(inc)
+		leaf := &leaves[i]
+		copy(t.decided, leaf.decided)
+		t.dfs(depth, leaf.usedSize, leaf.bestTimes, leaf.cur, -1, leaf.chosen, leaf.factUsed)
+		results[i] = taskResult{obj: t.bestObj, chosen: t.bestChosen, nodes: t.nodes, proven: t.proven}
+	})
+
+	// Merge in fixed subtree order with the sequential improvement rule.
+	for i := range results {
+		s.nodes += results[i].nodes
+		if !results[i].proven {
+			s.proven = false
+		}
+		if results[i].chosen != nil && results[i].obj < s.bestObj-1e-12 {
+			s.bestObj = results[i].obj
+			s.bestChosen = results[i].chosen
+		}
+	}
+}
+
+// task clones the solver for one subtree: precomputed tables are shared
+// read-only, mutable search state is fresh.
+func (s *solver) task(incumbent float64) *solver {
+	t := &solver{
+		p: s.p, order: s.order, perQ: s.perQ, nQ: s.nQ,
+		maxNodes: s.maxNodes, deadline: s.deadline,
+		perQTimes: s.perQTimes, weights: s.weights, sizes: s.sizes,
+		lag:      s.lag,
+		frontier: -1,
+		bestObj:  incumbent,
+		proven:   true,
+	}
+	t.decided = make([]int8, len(s.p.Cands))
+	t.pickBuf = make([][]int32, len(s.p.Cands)+1)
+	t.contribBuf = make([][]float64, len(s.p.Cands)+1)
+	t.lagPickBuf = make([][]int32, len(s.p.Cands)+1)
+	t.lagContribBuf = make([][]float64, len(s.p.Cands)+1)
+	t.timesBuf = make([][]float64, len(s.p.Cands)+1)
+	return t
+}

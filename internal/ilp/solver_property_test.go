@@ -1,0 +1,332 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// plainOptions is the seed-equivalent configuration: no preprocessing, no
+// Lagrangian bound, no incumbent polish, sequential search.
+func plainOptions() SolveOptions {
+	return SolveOptions{NoPreprocess: true, NoLagrangian: true, NoPolish: true}
+}
+
+// hardRandomProblem draws a selection instance whose budget actually
+// binds: candidate sizes near the budget, fact groups, and a mix of
+// infeasible pairs — the regime where preprocessing, the Lagrangian bound
+// and the parallel decomposition all engage.
+func hardRandomProblem(rng *rand.Rand, n, q int) *Problem {
+	p := &Problem{Base: make([]float64, q)}
+	for i := range p.Base {
+		p.Base[i] = 5 + rng.Float64()*5
+	}
+	for m := 0; m < n; m++ {
+		times := make([]float64, q)
+		for i := range times {
+			switch {
+			case rng.Float64() < 0.4:
+				times[i] = Infeasible
+			default:
+				times[i] = rng.Float64() * 12 // sometimes worse than base
+			}
+		}
+		fg := 0
+		if rng.Float64() < 0.25 {
+			fg = 1 + rng.Intn(2)
+		}
+		p.Cands = append(p.Cands, Candidate{
+			Name: "c", Size: int64(10 + rng.Intn(60)), Times: times, FactGroup: fg,
+		})
+	}
+	// Tight budgets: roughly room for 2–5 average candidates.
+	p.Budget = int64(60 + rng.Intn(140))
+	if rng.Float64() < 0.3 {
+		p.Weights = make([]float64, q)
+		for i := range p.Weights {
+			p.Weights[i] = 1 + rng.Float64()*9
+		}
+	}
+	return p
+}
+
+// TestFullSolverMatchesPlain is the overhaul's core property: the
+// preprocessed + Lagrangian-bounded + polished solver returns the same
+// objective as the seed-equivalent plain solver on randomized problems,
+// and the same chosen set when both prove optimality.
+func TestFullSolverMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 120; trial++ {
+		p := hardRandomProblem(rng, 2+rng.Intn(12), 1+rng.Intn(6))
+		plain := Solve(p, plainOptions())
+		full := Solve(p, SolveOptions{})
+		if plain.Proven != full.Proven {
+			t.Fatalf("trial %d: proven mismatch plain=%v full=%v", trial, plain.Proven, full.Proven)
+		}
+		if math.Abs(plain.Objective-full.Objective) > 1e-9 {
+			t.Fatalf("trial %d: objective plain=%.12f full=%.12f", trial, plain.Objective, full.Objective)
+		}
+		if !p.Feasible(full.Chosen) {
+			t.Fatalf("trial %d: full solver returned infeasible set %v", trial, full.Chosen)
+		}
+		if got := p.Objective(full.Chosen); got != full.Objective {
+			t.Fatalf("trial %d: reported objective %.12f != evaluated %.12f", trial, full.Objective, got)
+		}
+		if plain.Proven && full.Proven && !sameSet(plain.Chosen, full.Chosen) {
+			// Distinct optima must at least tie exactly.
+			if p.Objective(plain.Chosen) != p.Objective(full.Chosen) {
+				t.Fatalf("trial %d: different non-tied optima plain=%v full=%v", trial, plain.Chosen, full.Chosen)
+			}
+		}
+		if full.Nodes > plain.Nodes {
+			t.Logf("trial %d: full explored more nodes (%d > %d)", trial, full.Nodes, plain.Nodes)
+		}
+	}
+}
+
+// TestFullSolverTightAndSlackBudgets pins the preprocessing edge cases:
+// a budget nothing fits (empty optimum), and a budget everything fits
+// (exclusion-free candidates are fixed, only fact groups searched).
+func TestFullSolverTightAndSlackBudgets(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		p := hardRandomProblem(rng, 2+rng.Intn(10), 1+rng.Intn(5))
+		for _, budget := range []int64{0, 5, 1 << 40} {
+			p.Budget = budget
+			plain := Solve(p, plainOptions())
+			full := Solve(p, SolveOptions{})
+			if math.Abs(plain.Objective-full.Objective) > 1e-9 {
+				t.Fatalf("trial %d budget=%d: objective plain=%.12f full=%.12f",
+					trial, budget, plain.Objective, full.Objective)
+			}
+			if !p.Feasible(full.Chosen) {
+				t.Fatalf("trial %d budget=%d: infeasible %v", trial, budget, full.Chosen)
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSequential verifies the deterministic parallel
+// subtree search returns the sequential solution: same Chosen, Objective
+// (bitwise), Size, PerQuery and Proven for every worker count.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		p := hardRandomProblem(rng, 8+rng.Intn(12), 2+rng.Intn(6))
+		seq := Solve(p, SolveOptions{})
+		for _, workers := range []int{2, 3, 4} {
+			par := Solve(p, SolveOptions{Workers: workers})
+			if !reflect.DeepEqual(seq.Chosen, par.Chosen) {
+				t.Fatalf("trial %d workers=%d: chosen seq=%v par=%v", trial, workers, seq.Chosen, par.Chosen)
+			}
+			if seq.Objective != par.Objective {
+				t.Fatalf("trial %d workers=%d: objective seq=%v par=%v", trial, workers, seq.Objective, par.Objective)
+			}
+			if seq.Size != par.Size || seq.Proven != par.Proven {
+				t.Fatalf("trial %d workers=%d: size/proven mismatch", trial, workers)
+			}
+			if !reflect.DeepEqual(seq.PerQuery, par.PerQuery) {
+				t.Fatalf("trial %d workers=%d: routing mismatch", trial, workers)
+			}
+		}
+	}
+}
+
+// TestParallelRunToRunReproducible verifies the stronger contract: for a
+// fixed worker count the whole Solution — Nodes included — is bit-identical
+// across runs. Run under -race this also exercises the pipeline's
+// synchronization.
+func TestParallelRunToRunReproducible(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 10; trial++ {
+		p := hardRandomProblem(rng, 20, 8)
+		for _, workers := range []int{2, 4} {
+			a := Solve(p, SolveOptions{Workers: workers})
+			b := Solve(p, SolveOptions{Workers: workers})
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("trial %d workers=%d: runs differ:\n%+v\n%+v", trial, workers, a, b)
+			}
+		}
+	}
+}
+
+// TestParallelMatchesBruteForce anchors the parallel path to ground truth
+// directly, independent of the sequential implementation.
+func TestParallelMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		p := hardRandomProblem(rng, 4+rng.Intn(8), 1+rng.Intn(5))
+		want := bruteForce(p)
+		sol := Solve(p, SolveOptions{Workers: 3})
+		if !sol.Proven {
+			t.Fatalf("trial %d: parallel solve did not prove optimality", trial)
+		}
+		if math.Abs(sol.Objective-want) > 1e-9 {
+			t.Fatalf("trial %d: parallel %.12f, brute force %.12f", trial, sol.Objective, want)
+		}
+	}
+}
+
+// TestGreedyMatchesReference guards the optimized Greedy's bit-identical
+// contract against a direct transcription of the original implementation.
+func TestGreedyMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 60; trial++ {
+		p := hardRandomProblem(rng, 2+rng.Intn(20), 1+rng.Intn(6))
+		seedM := 1 + rng.Intn(2)
+		k := 0
+		if rng.Float64() < 0.5 {
+			k = 1 + rng.Intn(6)
+		}
+		got := Greedy(p, seedM, k)
+		want := referenceGreedy(p, seedM, k)
+		if !reflect.DeepEqual(got.Chosen, want.Chosen) {
+			t.Fatalf("trial %d: chosen %v != reference %v", trial, got.Chosen, want.Chosen)
+		}
+		if got.Objective != want.Objective {
+			t.Fatalf("trial %d: objective %v != reference %v", trial, got.Objective, want.Objective)
+		}
+	}
+}
+
+// referenceGreedy is the seed repository's Greedy, kept verbatim as the
+// behavioural reference for the optimized implementation.
+func referenceGreedy(p *Problem, seedM, k int) *Solution {
+	if k <= 0 {
+		k = len(p.Cands)
+	}
+	bestSeed := []int{}
+	bestObj := p.Objective(nil)
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) > 0 {
+			if p.Feasible(cur) {
+				if obj := p.Objective(cur); obj < bestObj-1e-12 {
+					bestObj = obj
+					bestSeed = append([]int(nil), cur...)
+				}
+			} else {
+				return
+			}
+		}
+		if len(cur) == seedM {
+			return
+		}
+		for m := start; m < len(p.Cands); m++ {
+			rec(m+1, append(cur, m))
+		}
+	}
+	rec(0, nil)
+
+	chosen := append([]int(nil), bestSeed...)
+	obj := p.Objective(chosen)
+	for len(chosen) < k {
+		bestM, bestNew := -1, obj
+		for m := range p.Cands {
+			if containsIdx(chosen, m) {
+				continue
+			}
+			trial := append(append([]int(nil), chosen...), m)
+			if !p.Feasible(trial) {
+				continue
+			}
+			if o := p.Objective(trial); o < bestNew-1e-12 {
+				bestNew = o
+				bestM = m
+			}
+		}
+		if bestM < 0 {
+			break
+		}
+		chosen = append(chosen, bestM)
+		obj = bestNew
+	}
+	sol := &Solution{Chosen: chosen, Objective: obj, Size: p.SizeOf(chosen), Proven: false}
+	sol.PerQuery = perQueryRouting(p, chosen)
+	return sol
+}
+
+func containsIdx(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[int]bool, len(a))
+	for _, x := range a {
+		seen[x] = true
+	}
+	for _, x := range b {
+		if !seen[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReduceFixesWhenEverythingFits pins the "fit any residual budget"
+// rule: with the whole pool inside the budget, exclusion-free candidates
+// are fixed and the search still returns the plain optimum.
+func TestReduceFixesWhenEverythingFits(t *testing.T) {
+	p := &Problem{
+		Base: []float64{10, 10, 10},
+		Cands: []Candidate{
+			{Name: "a", Size: 10, Times: []float64{4, Infeasible, Infeasible}},
+			{Name: "b", Size: 10, Times: []float64{Infeasible, 3, Infeasible}},
+			{Name: "f1", Size: 10, Times: []float64{Infeasible, Infeasible, 5}, FactGroup: 1},
+			{Name: "f2", Size: 12, Times: []float64{Infeasible, Infeasible, 4}, FactGroup: 1},
+			{Name: "useless", Size: 10, Times: []float64{11, 12, 13}},
+		},
+		Budget: 1000,
+	}
+	red := reduce(p, SolveOptions{})
+	if len(red.forced) != 2 {
+		t.Fatalf("forced = %v, want the two exclusion-free improving candidates", red.forced)
+	}
+	if len(red.p.Cands) != 2 {
+		t.Fatalf("active = %d candidates, want the 2-member fact group", len(red.p.Cands))
+	}
+	sol := Solve(p, SolveOptions{})
+	plain := Solve(p, plainOptions())
+	if math.Abs(sol.Objective-plain.Objective) > 1e-12 {
+		t.Fatalf("objective %.12f != plain %.12f", sol.Objective, plain.Objective)
+	}
+	if !sameSet(sol.Chosen, []int{0, 1, 3}) {
+		t.Fatalf("chosen %v, want {a, b, f2}", sol.Chosen)
+	}
+}
+
+// TestReduceDropsOversizedAndUseless pins the other preprocessing rules.
+func TestReduceDropsOversizedAndUseless(t *testing.T) {
+	p := &Problem{
+		Base: []float64{10},
+		Cands: []Candidate{
+			{Name: "fits", Size: 10, Times: []float64{5}},
+			{Name: "toobig", Size: 100, Times: []float64{1}},
+			{Name: "useless", Size: 1, Times: []float64{10}},
+			{Name: "dominated", Size: 20, Times: []float64{6}},
+		},
+		Budget: 50,
+	}
+	red := reduce(p, SolveOptions{})
+	// Only 'fits' survives the drops; since it fits the budget outright it
+	// is then fixed, leaving nothing to search.
+	if len(red.forced) != 1 || red.forced[0] != 0 {
+		t.Fatalf("forced = %v, want ['fits']", red.forced)
+	}
+	if len(red.p.Cands) != 0 {
+		t.Fatalf("%d active candidates remain, want 0", len(red.p.Cands))
+	}
+	sol := Solve(p, SolveOptions{})
+	if len(sol.Chosen) != 1 || sol.Chosen[0] != 0 {
+		t.Fatalf("chosen %v, want [0]", sol.Chosen)
+	}
+}

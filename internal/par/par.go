@@ -29,6 +29,12 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // (workers <= 0 selects DefaultWorkers). It returns when all calls have
 // finished. For n <= 1 or a single worker it degrades to a plain loop —
 // callers never pay goroutine overhead for trivial fan-outs.
+//
+// Claim order is part of the contract: indexes are handed to workers in
+// ascending order (a shared atomic counter), so when fn(i) starts, every
+// fn(j) with j < i has already started. The ILP solver's deterministic
+// parallel subtree search relies on this to let task i block on the
+// completion of tasks ≤ i−workers without deadlock (ilp/parallel.go).
 func ForEach(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
