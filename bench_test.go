@@ -136,3 +136,12 @@ func BenchmarkAblationMerging(b *testing.B) {
 		_, _ = exp.MergeAblation(env)
 	}
 }
+
+func BenchmarkAblationCorrIdx(b *testing.B) {
+	s := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exp.CorrIdxAblation(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

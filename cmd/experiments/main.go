@@ -7,7 +7,7 @@
 //	experiments [-full] [-run id] [-ssbrows n] [-apbrows n]
 //
 // where id selects one experiment: table1, fig5, fig6, fig7, fig9, fig10,
-// fig11, fig13, fig14, relax, merge, all (default all).
+// fig11, fig13, fig14, a3, relax, merge, cidx, all (default all).
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "use the larger paper-like scale (slower)")
-	run := flag.String("run", "all", "experiment id: table1,fig5,fig6,fig7,fig9,fig10,fig11,fig13,fig14,a3,relax,merge,all")
+	run := flag.String("run", "all", "experiment id: table1,fig5,fig6,fig7,fig9,fig10,fig11,fig13,fig14,a3,relax,merge,cidx,all")
 	ssbRows := flag.Int("ssbrows", 0, "override SSB fact rows")
 	apbRows := flag.Int("apbrows", 0, "override APB fact rows")
 	optQueries := flag.Int("optqueries", 8, "workload size for the Figure 7 OPT brute force")
@@ -153,6 +153,14 @@ func main() {
 	})
 	step("merge", func() error {
 		_, t := exp.MergeAblation(getSSB())
+		t.Print(out)
+		return nil
+	})
+	step("cidx", func() error {
+		_, t, err := exp.CorrIdxAblation(scale)
+		if err != nil {
+			return err
+		}
 		t.Print(out)
 		return nil
 	})

@@ -26,6 +26,7 @@ import (
 	"coradd/internal/apb"
 	"coradd/internal/candgen"
 	"coradd/internal/cm"
+	"coradd/internal/corridx"
 	"coradd/internal/costmodel"
 	"coradd/internal/designer"
 	"coradd/internal/exec"
@@ -67,6 +68,12 @@ type (
 	RunResult = designer.RunResult
 	// CM is a correlation map, the paper's compressed secondary index.
 	CM = cm.CM
+	// CorrIndex is a correlation-exploiting secondary index (Hermit-style):
+	// a bucketed range mapping from a target column onto the clustered
+	// lead, with an outlier B+Tree for rows that break the mapping.
+	CorrIndex = corridx.Index
+	// CorrIdxConfig tunes correlation-index construction.
+	CorrIdxConfig = corridx.Config
 	// Object is a materialized design object with its indexes and CMs.
 	Object = exec.Object
 )
@@ -107,6 +114,33 @@ var (
 // NewSchema builds a schema from columns (names must be unique).
 func NewSchema(cols ...Column) *Schema { return schema.New(cols...) }
 
+// fillCandidateDefaults substitutes the paper's tuning for every unset
+// candidate-generation knob individually, so a caller who sets only a
+// feature switch (CorrIdx, GroupWorkers) or a single knob (Seed) keeps
+// it alongside the defaults.
+func fillCandidateDefaults(c candgen.Config) candgen.Config {
+	def := candgen.DefaultConfig()
+	if c.T == 0 {
+		c.T = def.T
+	}
+	if len(c.Alphas) == 0 {
+		c.Alphas = def.Alphas
+	}
+	if c.MaxKeyLen == 0 {
+		c.MaxKeyLen = def.MaxKeyLen
+	}
+	if c.MaxInterleavings == 0 {
+		c.MaxInterleavings = def.MaxInterleavings
+	}
+	if c.Restarts == 0 {
+		c.Restarts = def.Restarts
+	}
+	if c.Seed == 0 {
+		c.Seed = def.Seed
+	}
+	return c
+}
+
 // NewRelation builds a clustered heap file, sorting rows on clusterKey
 // (column positions). It takes ownership of rows.
 func NewRelation(name string, s *Schema, clusterKey []int, rows []Row) *Relation {
@@ -129,6 +163,15 @@ func BuildCM(rel *Relation, cols []string, widths []V, pagesPerBucket int) *CM {
 // nil when none helps.
 func DesignCM(rel *Relation, q *Query) *CM {
 	return cm.Design(rel, q, cm.DefaultDesignerConfig())
+}
+
+// BuildCorrIdx learns a correlation index on rel for the named target
+// column: predicates on it are answered by translation into value ranges
+// on rel's clustered lead plus outlier probes. Fails when rel has no
+// clustered key or the target is the lead itself. Enable corridx
+// candidates in the designer with SystemConfig.Candidates.CorrIdx.
+func BuildCorrIdx(rel *Relation, target string) (*CorrIndex, error) {
+	return corridx.Build(rel, rel.Schema.MustCol(target), corridx.DefaultConfig())
 }
 
 // ExecuteBest runs q on o through the cheapest feasible plan and returns
@@ -167,9 +210,7 @@ func NewMultiSystem(facts map[string]MultiFact, w Workload, cfg SystemConfig) (*
 	if cfg.Disk == (DiskParams{}) {
 		cfg.Disk = storage.DefaultDiskParams()
 	}
-	if cfg.Candidates.T == 0 {
-		cfg.Candidates = candgen.DefaultConfig()
-	}
+	cfg.Candidates = fillCandidateDefaults(cfg.Candidates)
 	fb := feedback.Config{MaxIters: cfg.FeedbackIters}
 	if cfg.FeedbackIters == 0 {
 		fb.MaxIters = 2
@@ -183,6 +224,7 @@ const (
 	ClusteredScan = exec.ClusteredScan
 	SecondaryScan = exec.SecondaryScan
 	CMScan        = exec.CMScan
+	CorrIdxScan   = exec.CorrIdxScan
 )
 
 // Benchmark generators.
@@ -255,9 +297,7 @@ func NewSystem(rel *Relation, w Workload, cfg SystemConfig) (*System, error) {
 	if cfg.Disk == (DiskParams{}) {
 		cfg.Disk = storage.DefaultDiskParams()
 	}
-	if cfg.Candidates.T == 0 {
-		cfg.Candidates = candgen.DefaultConfig()
-	}
+	cfg.Candidates = fillCandidateDefaults(cfg.Candidates)
 	if cfg.FeedbackIters == 0 {
 		cfg.FeedbackIters = 2
 	}
@@ -289,9 +329,7 @@ func (s *System) Measure(d *Design) (*RunResult, error) {
 // Baselines returns ready-made Commercial and Naive designers over the
 // same inputs, for comparisons like the paper's Figures 9 and 11.
 func (s *System) Baselines(cfg SystemConfig) (commercial, naive designer.Designer) {
-	if cfg.Candidates.T == 0 {
-		cfg.Candidates = candgen.DefaultConfig()
-	}
+	cfg.Candidates = fillCandidateDefaults(cfg.Candidates)
 	common := designer.Common{
 		St: s.St, W: s.W, Disk: s.Disk,
 		PKCols: s.coradd.PKCols, BaseKey: s.coradd.BaseKey,

@@ -1,0 +1,56 @@
+package candgen
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestQueryGroupsParallelDeterminism guards the pre-drawn-seed sweep: the
+// output groupings are unchanged vs a sequential run for every worker
+// count, because each (α, k) cell owns an RNG seeded before the fan-out
+// and results merge in cell order.
+func TestQueryGroupsParallelDeterminism(t *testing.T) {
+	g, _ := genEnv(t, 20000)
+	g.Cfg.GroupWorkers = 1 // sequential run of the pre-drawn-seed scheme
+	want := g.QueryGroups()
+	if len(want) == 0 {
+		t.Fatal("no groups produced")
+	}
+	for _, workers := range []int{2, 4, 8, -1} {
+		g.Cfg.GroupWorkers = workers
+		got := g.QueryGroups()
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("GroupWorkers=%d groupings differ from sequential:\n got %v\nwant %v",
+				workers, got, want)
+		}
+	}
+}
+
+// TestQueryGroupsSharedStreamUnchanged pins the zero-value default to the
+// original shared-stream sweep: the recorded experiment tables depend on
+// its exact grouping output.
+func TestQueryGroupsSharedStreamUnchanged(t *testing.T) {
+	g, _ := genEnv(t, 20000)
+	g.Cfg.GroupWorkers = 0
+	got := g.QueryGroups()
+	want := g.queryGroupsSharedStream()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("default QueryGroups diverged from the shared-stream sweep:\n got %v\nwant %v", got, want)
+	}
+	// Both schemes must cover the same structural anchors (singletons via
+	// k=|Q| and the all-queries group via k=1), even though intermediate
+	// groupings may differ.
+	g.Cfg.GroupWorkers = 1
+	parallel := g.QueryGroups()
+	for _, groups := range [][][]int{want, parallel} {
+		foundAll := false
+		for _, grp := range groups {
+			if len(grp) == len(g.W) {
+				foundAll = true
+			}
+		}
+		if !foundAll {
+			t.Error("k=1 grouping (all queries together) missing")
+		}
+	}
+}

@@ -66,7 +66,7 @@ func Build(rel *storage.Relation, keyCols []int, keyWidths []value.V, clusterPag
 	for i, row := range rel.Rows {
 		bucket := int32(i / rowsPerBucket)
 		for j, c := range keyCols {
-			pc.key[j] = bucketValue(row[c], keyWidths[j])
+			pc.key[j] = BucketValue(row[c], keyWidths[j])
 		}
 		pc.add(bucket)
 	}
@@ -154,8 +154,8 @@ func (pc *pairCollector) finish() []pair {
 // Derive builds the CM for coarser bucket widths from an exact (all widths
 // 1) base CM without rescanning the relation: re-bucketing the base's
 // distinct (value, clustered-bucket) pairs yields exactly the pair set a
-// fresh Build over the rows would produce, because bucketValue(v, w) =
-// bucketValue(bucketValue(v, 1), w) and deduplication commutes with the
+// fresh Build over the rows would produce, because BucketValue(v, w) =
+// BucketValue(BucketValue(v, 1), w) and deduplication commutes with the
 // projection. The base typically holds orders of magnitude fewer pairs than
 // the relation has rows, which is what makes the CM Designer's width sweep
 // cheap.
@@ -176,7 +176,7 @@ func Derive(base *CM, widths []value.V) *CM {
 	for i := range base.pairs {
 		p := &base.pairs[i]
 		for j := range pc.key {
-			pc.key[j] = bucketValue(p.key[j], widths[j])
+			pc.key[j] = BucketValue(p.key[j], widths[j])
 		}
 		pc.add(p.bucket)
 	}
@@ -184,11 +184,14 @@ func Derive(base *CM, widths []value.V) *CM {
 	return m
 }
 
-func bucketValue(v, width value.V) value.V {
+// BucketValue buckets v by truncation to floor(v/width) (width ≤ 1 keeps
+// the exact value), with floor division stable for negative values. It is
+// the one definition of value bucketing shared by CMs and the
+// correlation indexes built on their pair statistics (internal/corridx).
+func BucketValue(v, width value.V) value.V {
 	if width <= 1 {
 		return v
 	}
-	// Floor division that is stable for negative values.
 	q := v / width
 	if v%width != 0 && v < 0 {
 		q--
@@ -246,7 +249,7 @@ func (m *CM) Buckets(preds []*query.Predicate) []int32 {
 			if pred == nil {
 				continue
 			}
-			if !bucketMayMatch(p.key[j], m.KeyWidths[j], pred) {
+			if !BucketMayMatch(p.key[j], m.KeyWidths[j], pred) {
 				ok = false
 				break
 			}
@@ -260,9 +263,9 @@ func (m *CM) Buckets(preds []*query.Predicate) []int32 {
 	return out
 }
 
-// bucketMayMatch reports whether the value bucket b (of the given width)
+// BucketMayMatch reports whether the value bucket b (of the given width)
 // could contain a value matching pred.
-func bucketMayMatch(b, width value.V, pred *query.Predicate) bool {
+func BucketMayMatch(b, width value.V, pred *query.Predicate) bool {
 	if width <= 1 {
 		return pred.Matches(b)
 	}

@@ -1,0 +1,144 @@
+package corridx
+
+import (
+	"testing"
+
+	"coradd/internal/query"
+	"coradd/internal/schema"
+	"coradd/internal/storage"
+	"coradd/internal/value"
+)
+
+// hierRelation builds a relation clustered on "host" where target = host/10
+// exactly (a perfect hierarchy like nation→city in reverse), with nOut rows
+// broken to target 999.
+func hierRelation(n, nOut int) *storage.Relation {
+	s := schema.New(
+		schema.Column{Name: "host", ByteSize: 4},
+		schema.Column{Name: "target", ByteSize: 4},
+		schema.Column{Name: "val", ByteSize: 4},
+	)
+	rows := make([]value.Row, n)
+	for i := range rows {
+		host := value.V(i % 200)
+		target := host / 10
+		if i < nOut {
+			target = 999
+		}
+		rows[i] = value.Row{host, target, value.V(i)}
+	}
+	return storage.NewRelation("hier", s, []int{0}, rows)
+}
+
+func TestBuildPerfectHierarchy(t *testing.T) {
+	rel := hierRelation(4000, 0)
+	x, err := Build(rel, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NumEntries() != 20 {
+		t.Fatalf("entries = %d, want 20 (one per distinct target)", x.NumEntries())
+	}
+	if x.NumOutliers() != 0 || x.Outliers != nil {
+		t.Fatalf("perfect hierarchy must have no outliers, got %d", x.NumOutliers())
+	}
+	ranges := x.Translate(&query.Predicate{Col: "target", Op: query.Eq, Lo: 7, Hi: 7})
+	if len(ranges) != 1 || ranges[0].Lo != 70 || ranges[0].Hi != 79 {
+		t.Fatalf("Translate(target=7) = %v, want [{70 79}]", ranges)
+	}
+}
+
+func TestTranslateMergesAdjacentBuckets(t *testing.T) {
+	rel := hierRelation(4000, 0)
+	x, err := Build(rel, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := query.NewRange("target", 3, 5)
+	ranges := x.Translate(&p)
+	if len(ranges) != 1 || ranges[0].Lo != 30 || ranges[0].Hi != 59 {
+		t.Fatalf("Translate(3<=target<=5) = %v, want one merged range {30 59}", ranges)
+	}
+}
+
+func TestOutliersAreTrimmedAndProbed(t *testing.T) {
+	// 100 rows of target 999 scattered across the host domain inside a
+	// 10000-row hierarchy. Whether bucket 999 keeps a wide core interval
+	// or trims rows into the outlier tree, a lookup must still find every
+	// one of its rows through the translated ranges plus the probe.
+	rel := hierRelation(10000, 100)
+	x, err := Build(rel, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := query.NewEq("target", 999)
+	ranges := x.Translate(&p)
+	rids, _ := x.OutlierRIDs(&p)
+	covered := make(map[int32]bool)
+	for _, rid := range rids {
+		covered[rid] = true
+	}
+	found := 0
+	for i, row := range rel.Rows {
+		if row[1] != 999 {
+			continue
+		}
+		inRange := false
+		for _, r := range ranges {
+			if row[0] >= r.Lo && row[0] <= r.Hi {
+				inRange = true
+				break
+			}
+		}
+		if inRange || covered[int32(i)] {
+			found++
+		}
+	}
+	if want := 100; found != want {
+		t.Fatalf("lookup covers %d of %d rows with target=999", found, want)
+	}
+}
+
+func TestBuildRejectsUnclusteredAndLead(t *testing.T) {
+	s := schema.New(schema.Column{Name: "a", ByteSize: 4}, schema.Column{Name: "b", ByteSize: 4})
+	rows := []value.Row{{1, 2}, {3, 4}}
+	unclustered := storage.NewRelation("u", s, nil, rows)
+	if _, err := Build(unclustered, 1, DefaultConfig()); err == nil {
+		t.Fatal("Build on an unclustered relation must fail")
+	}
+	clustered := storage.NewRelation("c", s, []int{0}, rows)
+	if _, err := Build(clustered, 0, DefaultConfig()); err == nil {
+		t.Fatal("Build targeting the clustered lead must fail")
+	}
+}
+
+func TestTargetWidthBucketsValues(t *testing.T) {
+	rel := hierRelation(4000, 0)
+	x, err := Build(rel, 1, Config{TargetWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NumEntries() != 5 {
+		t.Fatalf("entries = %d, want 5 (targets 0..19 in width-4 buckets)", x.NumEntries())
+	}
+	// Bucket 1 covers targets 4..7 → hosts 40..79.
+	p := query.NewEq("target", 5)
+	ranges := x.Translate(&p)
+	if len(ranges) != 1 || ranges[0].Lo != 40 || ranges[0].Hi != 79 {
+		t.Fatalf("Translate(target=5) with width 4 = %v, want [{40 79}]", ranges)
+	}
+}
+
+func TestBytesFarSmallerThanDenseIndex(t *testing.T) {
+	rel := hierRelation(100_000, 0)
+	x, err := Build(rel, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A dense secondary B+Tree carries one entry per tuple; the mapping
+	// carries one entry per distinct target value.
+	densePages := int64(100_000*(4+4+8)) / storage.PageSize
+	if x.Bytes()*10 > densePages*storage.PageSize {
+		t.Fatalf("corridx %d bytes is not ≪ dense index ~%d bytes", x.Bytes(), densePages*storage.PageSize)
+	}
+}

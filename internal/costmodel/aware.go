@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"coradd/internal/cm"
+	"coradd/internal/corridx"
 	"coradd/internal/query"
 	"coradd/internal/stats"
 	"coradd/internal/storage"
@@ -88,6 +89,14 @@ func (m *Aware) estimate(d *MVDesign, q *query.Query) (float64, PathKind) {
 	if len(d.ClusterKey) > 0 {
 		if c, ok := m.clusteredCost(d, q, pages, height); ok && c < best {
 			best, kind = c, PathClustered
+		}
+		// Correlation indexes coexist with the free CM pool (§5.4 sets CM
+		// space aside; corridx structure is what the budget pays for), so
+		// both paths are priced and the best one wins.
+		if len(d.CorrIdxs) > 0 {
+			if c, ok := m.corrIdxCost(d, q, pages, height); ok && c < best {
+				best, kind = c, PathCorrIdx
+			}
 		}
 		if m.WithCM {
 			if c, ok := m.cmCost(d, q, pages, height); ok && c < best {
@@ -199,6 +208,67 @@ func (m *Aware) cmCost(d *MVDesign, q *query.Query, pages, height float64) (floa
 	cost := seek + float64(cmReadPages)*read + // read the CM itself
 		dBuckets*height*seek + coverage*pages*read
 	return cost, true
+}
+
+// corrIdxCost prices the correlation-index path of a candidate deploying
+// CorrIdxSpecs: the target predicate is translated into host ranges whose
+// heap footprint is predicted on the host-sorted synopsis with the same
+// per-bucket trimming rule the built index applies (corridx.SampleIntervals),
+// plus the mapping read and the outlier-tree probes. When a query
+// predicates several index targets the cheapest single index is priced,
+// matching the executor's one-index-per-plan choice.
+func (m *Aware) corrIdxCost(d *MVDesign, q *query.Query, pages, height float64) (float64, bool) {
+	host := d.ClusterKey[0]
+	sorted := m.St.SortedSample([]int{host})
+	r := len(sorted)
+	if r == 0 {
+		return 0, false
+	}
+	seek, read := m.Disk.SeekCost, m.Disk.PageReadCost
+	best, found := 0.0, false
+	for _, spec := range d.CorrIdxs {
+		p := q.Predicate(m.St.Rel.Schema.Columns[spec.Target].Name)
+		if p == nil {
+			continue
+		}
+		ivs, outSample := corridx.SampleIntervals(sorted, spec.Target, host, spec.Width, p, corridx.Config{})
+		covered := 0
+		for _, iv := range ivs {
+			covered += iv[1] - iv[0]
+		}
+		coverage := float64(covered) / float64(r)
+		if floor := 0.5 / float64(r); coverage < floor {
+			coverage = floor // below synopsis resolution: a sliver, not zero
+		}
+		if coverage > 1 {
+			coverage = 1
+		}
+		frags := float64(len(ivs))
+		if frags < 1 {
+			frags = 1
+		}
+		mapPages := float64((corridx.MappingBytes(spec.EstEntries) + storage.PageSize - 1) / storage.PageSize)
+		if mapPages < 1 {
+			mapPages = 1
+		}
+		cost := seek + mapPages*read + // read the mapping itself
+			frags*height*seek + coverage*pages*read
+		if outSample > 0 || spec.EstOutlierFrac > 0 {
+			// Probe the outlier tree (once per IN value), then fetch each
+			// predicted outlier row as its own fragment — the pessimistic
+			// shape the executor's accounting produces for scattered rows.
+			descents := 1.0
+			if p.Op == query.In {
+				descents = float64(len(p.Set))
+			}
+			outPop := float64(outSample) / float64(r) * float64(m.St.NumRows())
+			cost += descents*(seek+2*read) + outPop*(height*seek+read)
+		}
+		if !found || cost < best {
+			best, found = cost, true
+		}
+	}
+	return best, found
 }
 
 // estimateBuckets corrects the observed distinct-bucket count for unseen

@@ -20,10 +20,29 @@ import (
 	"sort"
 
 	"coradd/internal/btree"
+	"coradd/internal/corridx"
 	"coradd/internal/query"
 	"coradd/internal/stats"
 	"coradd/internal/storage"
+	"coradd/internal/value"
 )
+
+// CorrIdxSpec describes one correlation-exploiting secondary index
+// (internal/corridx) a candidate deploys: predicates on Target are
+// translated into value ranges on the design's clustered lead. The Est*
+// fields are the statistics-time predictions candidate generation attaches
+// so the ILP can charge size without building anything.
+type CorrIdxSpec struct {
+	// Target is the predicated base-column position the index serves.
+	Target int
+	// Width is the target bucketing width (1 = exact values).
+	Width value.V
+	// EstEntries is the predicted mapping entry count (distinct target
+	// buckets).
+	EstEntries int
+	// EstOutlierFrac is the predicted fraction of rows in the outlier tree.
+	EstOutlierFrac float64
+}
 
 // MVDesign is a hypothetical materialized view: a projection of the base
 // fact relation clustered on ClusterKey. A fact-table re-clustering
@@ -39,6 +58,11 @@ type MVDesign struct {
 	// FactRecluster marks a re-clustering of the fact table itself rather
 	// than a projected MV.
 	FactRecluster bool
+	// FactOverlay marks a candidate that deploys secondary structure
+	// (CorrIdxs) on the fact heap *in place*, keeping its existing
+	// clustering: only the structure is charged as space, and the candidate
+	// joins the fact-exclusion group (a re-clustering would invalidate it).
+	FactOverlay bool
 	// PKCols are the primary-key columns of the fact table; a re-clustered
 	// fact table must carry a secondary index on them (§4.3).
 	PKCols []int
@@ -48,6 +72,12 @@ type MVDesign struct {
 	// Queries is the query group the candidate was generated for
 	// (indexes into the workload); informational, used by ILP feedback.
 	Queries []int
+	// CorrIdxs are the correlation indexes the candidate deploys on its
+	// clustered heap; each translates one predicated column into value
+	// ranges on the candidate's clustered lead. Attachable to fact
+	// re-clusterings, to the fact heap in place (FactOverlay) and to
+	// projected MVs.
+	CorrIdxs []CorrIdxSpec
 }
 
 // HasCol reports whether base column c is carried by the design.
@@ -88,8 +118,15 @@ func (d *MVDesign) NumPages(st *stats.Stats) int {
 // §5.4.)
 func (d *MVDesign) Bytes(st *stats.Stats) int64 {
 	n := int64(d.NumPages(st)) * storage.PageSize
+	if d.FactOverlay {
+		n = 0 // the fact heap already exists; only the structure is new space
+	}
 	if d.FactRecluster && len(d.PKCols) > 0 {
 		n += btree.EstimateBytes(st.NumRows(), st.Rel.Schema.SubsetBytes(d.PKCols))
+	}
+	for _, spec := range d.CorrIdxs {
+		outRows := int(spec.EstOutlierFrac * float64(st.NumRows()))
+		n += corridx.EstimateBytes(spec.EstEntries, outRows, st.Rel.Schema.Columns[spec.Target].ByteSize)
 	}
 	return n
 }
@@ -116,6 +153,15 @@ func (d *MVDesign) Key() string {
 	}
 	if d.FactRecluster {
 		b = append(b, 0xfe)
+	}
+	if d.FactOverlay {
+		b = append(b, 0xfc)
+	}
+	for _, spec := range d.CorrIdxs {
+		// Width gets four bytes: candidate generation doubles it up to 2^20
+		// to fit the mapping cap, beyond a 16-bit encoding.
+		b = append(b, 0xfd, byte(spec.Target), byte(spec.Target>>8),
+			byte(spec.Width), byte(spec.Width>>8), byte(spec.Width>>16), byte(spec.Width>>24))
 	}
 	return string(b)
 }
@@ -148,6 +194,9 @@ const (
 	PathCM
 	// PathSecondary is a dense B+Tree secondary scan (oblivious model).
 	PathSecondary
+	// PathCorrIdx translates the predicate through a correlation index into
+	// host ranges on the clustered lead.
+	PathCorrIdx
 	// PathInfeasible means the design cannot answer the query.
 	PathInfeasible
 )
@@ -163,6 +212,8 @@ func (k PathKind) String() string {
 		return "cm"
 	case PathSecondary:
 		return "secondary"
+	case PathCorrIdx:
+		return "corridx"
 	case PathInfeasible:
 		return "infeasible"
 	default:

@@ -8,6 +8,7 @@ import (
 
 	"coradd/internal/btree"
 	"coradd/internal/cm"
+	"coradd/internal/corridx"
 	"coradd/internal/costmodel"
 	"coradd/internal/exec"
 	"coradd/internal/par"
@@ -96,10 +97,11 @@ func (e *Evaluator) Materialize(d *Design) (*Materialized, error) {
 		}
 		m.Objects = append(m.Objects, obj)
 		m.Bytes += obj.Bytes()
-		if md.FactRecluster {
-			// The re-clustered heap replaces the base heap; only the PK
-			// index is extra space, which obj.Bytes already includes via
-			// PKIndex. Remove the heap double-count.
+		if md.FactRecluster || md.FactOverlay {
+			// The re-clustered heap replaces the base heap (and an overlay
+			// IS the base heap); only the secondary structure is extra
+			// space, which obj.Bytes already includes. Remove the heap
+			// double-count.
 			m.Bytes -= obj.Rel.HeapBytes()
 		}
 	}
@@ -166,6 +168,15 @@ func (e *Evaluator) objectSig(d *Design, md *costmodel.MVDesign) string {
 	if md.FactRecluster && len(md.PKCols) > 0 {
 		sigInts(&b, "pk:", md.PKCols)
 	}
+	if len(md.CorrIdxs) > 0 {
+		b.WriteString("|cidx:")
+		for i, spec := range md.CorrIdxs {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			fmt.Fprintf(&b, "%d,%d", spec.Target, spec.Width)
+		}
+	}
 	switch d.Style {
 	case StyleCORADD:
 		names := make([]string, 0, 4)
@@ -201,14 +212,21 @@ func (e *Evaluator) materializeObject(d *Design, md *costmodel.MVDesign) (*exec.
 	}
 	rSig := relSig(md)
 	return e.Cache.object(e.objectSig(d, md), func(deps *[]string) (*exec.Object, error) {
-		*deps = append(*deps, relKey(rSig))
-		rel := e.Cache.relation(rSig, func() *storage.Relation {
-			// Cached relations are shared by every structurally identical
-			// design, so they carry a structural name (columns + key), not
-			// the first requester's MV name.
-			name := "mv(" + e.Fact.Schema.ColNames(md.Cols) + ";key=" + e.Fact.Schema.ColNames(md.ClusterKey) + ")"
-			return e.Fact.Project(name, md.Cols, newKey)
-		})
+		var rel *storage.Relation
+		if md.FactOverlay {
+			// An overlay deploys structure on the fact heap in place: no
+			// projection, no re-sort — column positions are the base's.
+			rel = e.Fact
+		} else {
+			*deps = append(*deps, relKey(rSig))
+			rel = e.Cache.relation(rSig, func() *storage.Relation {
+				// Cached relations are shared by every structurally identical
+				// design, so they carry a structural name (columns + key), not
+				// the first requester's MV name.
+				name := "mv(" + e.Fact.Schema.ColNames(md.Cols) + ";key=" + e.Fact.Schema.ColNames(md.ClusterKey) + ")"
+				return e.Fact.Project(name, md.Cols, newKey)
+			})
+		}
 		obj := exec.NewObject(rel)
 		if md.FactRecluster && len(md.PKCols) > 0 {
 			pkPos := make([]int, len(md.PKCols))
@@ -222,6 +240,26 @@ func (e *Evaluator) materializeObject(d *Design, md *costmodel.MVDesign) (*exec.
 			obj.PKIndex = e.Cache.tree(sig.String(), func() *btree.Tree {
 				return btree.BuildFromRelation(rel, pkPos)
 			})
+		}
+		// Correlation indexes are the budget-charged secondary structure of
+		// corridx candidates; the style's free structures (CMs for CORADD)
+		// are still attached below — §5.4 sets CM space aside.
+		for _, spec := range md.CorrIdxs {
+			pos := indexOf(md.Cols, spec.Target)
+			if pos < 0 {
+				return nil, fmt.Errorf("designer: corridx target %d not in MV columns", spec.Target)
+			}
+			var sig strings.Builder
+			sig.WriteString(rSig)
+			fmt.Fprintf(&sig, "|cidx:%d,%d", spec.Target, spec.Width)
+			*deps = append(*deps, cidxKey(sig.String()))
+			x, err := e.Cache.corrIdx(sig.String(), func() (*corridx.Index, error) {
+				return corridx.Build(rel, pos, corridx.Config{TargetWidth: spec.Width})
+			})
+			if err != nil {
+				return nil, err
+			}
+			obj.AddCorrIdx(x)
 		}
 		switch d.Style {
 		case StyleCORADD:

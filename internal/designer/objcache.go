@@ -9,6 +9,7 @@ import (
 
 	"coradd/internal/btree"
 	"coradd/internal/cm"
+	"coradd/internal/corridx"
 	"coradd/internal/exec"
 	"coradd/internal/storage"
 )
@@ -228,11 +229,12 @@ func always[V any](build func() V) func() (V, bool) {
 	return func() (V, bool) { return build(), true }
 }
 
-// relKey/treeKey/cmKey build the cache keys component artifacts are
-// stored under, so object builders can declare them as dependencies.
+// relKey/treeKey/cmKey/cidxKey build the cache keys component artifacts
+// are stored under, so object builders can declare them as dependencies.
 func relKey(sig string) string  { return "rel|" + sig }
 func treeKey(sig string) string { return "tree|" + sig }
 func cmKey(sig string) string   { return "cm|" + sig }
+func cidxKey(sig string) string { return "cidx|" + sig }
 
 // relation returns the cached projection for sig, building it on miss.
 func (c *ObjectCache) relation(sig string, build func() *storage.Relation) *storage.Relation {
@@ -278,6 +280,20 @@ func (c *ObjectCache) plan(sig string, choose func() (exec.PlanSpec, error)) (ex
 		return s, err == nil
 	}, func(exec.PlanSpec) int64 { return 0 })
 	return s, err
+}
+
+// corrIdx returns the cached correlation index for sig, building on miss.
+// Failed builds (mismatched clustering) are not cached.
+func (c *ObjectCache) corrIdx(sig string, build func() (*corridx.Index, error)) (*corridx.Index, error) {
+	var err error
+	x := memoGet(c, cidxKey(sig), func() (*corridx.Index, bool) {
+		var x *corridx.Index
+		x, err = build()
+		return x, err == nil
+	}, func(x *corridx.Index) int64 {
+		return x.Bytes()
+	})
+	return x, err
 }
 
 // tree returns the cached dense B+Tree for sig, building on miss.

@@ -1,0 +1,194 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coradd/internal/corridx"
+	"coradd/internal/query"
+	"coradd/internal/schema"
+	"coradd/internal/storage"
+	"coradd/internal/value"
+)
+
+// corrRelation builds a relation clustered on "host" whose "target" column
+// correlates with host to a tunable degree: a fraction `noise` of rows draw
+// target uniformly at random (breaking the host = target*10 + jitter
+// mapping), so noise 0 is a perfect correlation and noise 1 none at all.
+func corrRelation(n int, noise float64, seed int64) *storage.Relation {
+	s := schema.New(
+		schema.Column{Name: "host", ByteSize: 4},
+		schema.Column{Name: "target", ByteSize: 4},
+		schema.Column{Name: "other", ByteSize: 4},
+		schema.Column{Name: "d", ByteSize: 8},
+	)
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]value.Row, n)
+	for i := range rows {
+		host := value.V(rng.Intn(1000))
+		target := host / 10
+		if rng.Float64() < noise {
+			target = value.V(rng.Intn(100))
+		}
+		rows[i] = value.Row{host, target, value.V(rng.Intn(50)), value.V(rng.Intn(1000))}
+	}
+	return storage.NewRelation("corr", s, s.ColSet("host"), rows)
+}
+
+// TestCorrIdxScanEquivalenceProperty is the corridx core invariant: on
+// randomized relations spanning perfect, noisy, outlier-heavy and
+// zero-correlation regimes, a CorrIdxScan answers exactly like a full
+// scan for every predicate shape.
+func TestCorrIdxScanEquivalenceProperty(t *testing.T) {
+	prop := func(seed int64, noisePick, widthPick, predPick uint8) bool {
+		noises := []float64{0, 0.02, 0.3, 1} // perfect, light, outlier-heavy, none
+		noise := noises[int(noisePick)%len(noises)]
+		rel := corrRelation(4000, noise, seed)
+		cfg := corridx.DefaultConfig()
+		cfg.TargetWidth = []value.V{1, 1, 2, 8}[int(widthPick)%4]
+		x, err := corridx.Build(rel, rel.Schema.MustCol("target"), cfg)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		o := NewObject(rel)
+		o.AddCorrIdx(x)
+
+		rng := rand.New(rand.NewSource(seed + int64(predPick)))
+		preds := []query.Predicate{}
+		switch rng.Intn(3) {
+		case 0:
+			preds = append(preds, query.NewEq("target", value.V(rng.Intn(100))))
+		case 1:
+			lo := value.V(rng.Intn(90))
+			preds = append(preds, query.NewRange("target", lo, lo+value.V(rng.Intn(15))))
+		case 2:
+			preds = append(preds, query.NewIn("target",
+				value.V(rng.Intn(100)), value.V(rng.Intn(100)), value.V(rng.Intn(100))))
+		}
+		if rng.Intn(2) == 0 { // residual predicate on an unindexed column
+			preds = append(preds, query.NewRange("other", 10, 35))
+		}
+		q := &query.Query{Name: "prop", Fact: "corr", Predicates: preds, AggCol: "d"}
+		want, err := Execute(o, q, PlanSpec{Kind: SeqScan})
+		if err != nil {
+			return false
+		}
+		got, err := Execute(o, q, PlanSpec{Kind: CorrIdxScan})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if got.Sum != want.Sum || got.Rows != want.Rows {
+			t.Logf("corridx: got (%d,%d) want (%d,%d) noise=%g width=%d preds=%v",
+				got.Sum, got.Rows, want.Sum, want.Rows, noise, cfg.TargetWidth, preds)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorrIdxScanBeatsSeqScanWhenCorrelated(t *testing.T) {
+	// Perfect correlation (an SSB-style hierarchy): the translated host
+	// range touches a handful of pages and no outliers exist, so the index
+	// wins by a wide margin.
+	rel := corrRelation(200_000, 0, 7)
+	x, err := corridx.Build(rel, rel.Schema.MustCol("target"), corridx.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewObject(rel)
+	o.AddCorrIdx(x)
+	disk := storage.DefaultDiskParams()
+	q := &query.Query{Name: "sel", Fact: "corr",
+		Predicates: []query.Predicate{query.NewEq("target", 42)}, AggCol: "d"}
+	seq, err := Execute(o, q, PlanSpec{Kind: SeqScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Execute(o, q, PlanSpec{Kind: CorrIdxScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Seconds(disk)*2 > seq.Seconds(disk) {
+		t.Errorf("corridx %.4fs not clearly cheaper than seqscan %.4fs",
+			idx.Seconds(disk), seq.Seconds(disk))
+	}
+	if idx.Sum != seq.Sum || idx.Rows != seq.Rows {
+		t.Errorf("answers disagree: corridx (%d,%d) seq (%d,%d)", idx.Sum, idx.Rows, seq.Sum, seq.Rows)
+	}
+
+	// A light sprinkle of outliers keeps the index ahead: probes are paid
+	// per scattered fragment, so the win narrows but does not flip.
+	rel = corrRelation(200_000, 0.001, 7)
+	if x, err = corridx.Build(rel, rel.Schema.MustCol("target"), corridx.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	o = NewObject(rel)
+	o.AddCorrIdx(x)
+	seq, err = Execute(o, q, PlanSpec{Kind: SeqScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err = Execute(o, q, PlanSpec{Kind: CorrIdxScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Seconds(disk) >= seq.Seconds(disk) {
+		t.Errorf("corridx %.4fs not cheaper than seqscan %.4fs with light outliers",
+			idx.Seconds(disk), seq.Seconds(disk))
+	}
+	if idx.Sum != seq.Sum || idx.Rows != seq.Rows {
+		t.Errorf("answers disagree with outliers: corridx (%d,%d) seq (%d,%d)", idx.Sum, idx.Rows, seq.Sum, seq.Rows)
+	}
+}
+
+func TestPlansIncludesCorrIdxOnlyWhenPredicated(t *testing.T) {
+	rel := corrRelation(2000, 0, 3)
+	x, err := corridx.Build(rel, rel.Schema.MustCol("target"), corridx.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewObject(rel)
+	o.AddCorrIdx(x)
+	with := &query.Query{Name: "w", Fact: "corr",
+		Predicates: []query.Predicate{query.NewEq("target", 3)}, AggCol: "d"}
+	without := &query.Query{Name: "wo", Fact: "corr",
+		Predicates: []query.Predicate{query.NewEq("other", 3)}, AggCol: "d"}
+	has := func(q *query.Query) bool {
+		for _, spec := range Plans(o, q) {
+			if spec.Kind == CorrIdxScan {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(with) {
+		t.Error("Plans omits CorrIdxScan for a query predicating the target")
+	}
+	if has(without) {
+		t.Error("Plans offers CorrIdxScan for a query without a target predicate")
+	}
+}
+
+func TestCorrIdxScanRejectsForeignRelation(t *testing.T) {
+	relA := corrRelation(2000, 0, 1)
+	x, err := corridx.Build(relA, relA.Schema.MustCol("target"), corridx.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An object clustered on a different lead must refuse the index.
+	relB := corrRelation(2000, 0, 1)
+	relB.Recluster(relB.Schema.ColSet("other"))
+	o := NewObject(relB)
+	o.AddCorrIdx(x)
+	q := &query.Query{Name: "q", Fact: "corr",
+		Predicates: []query.Predicate{query.NewEq("target", 3)}, AggCol: "d"}
+	if _, err := Execute(o, q, PlanSpec{Kind: CorrIdxScan}); err == nil {
+		t.Error("CorrIdxScan on a mismatched clustering must fail")
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"coradd/internal/btree"
 	"coradd/internal/cm"
+	"coradd/internal/corridx"
 	"coradd/internal/query"
 	"coradd/internal/storage"
 	"coradd/internal/value"
@@ -42,6 +43,9 @@ type Object struct {
 	Height int
 	BTrees []*SecondaryIndex
 	CMs    []*cm.CM
+	// CorrIdxs are correlation-exploiting secondary indexes (Hermit-style
+	// host-range mappings with outlier trees).
+	CorrIdxs []*corridx.Index
 	// PKIndex, when non-nil, is the extra primary-key secondary index a
 	// re-clustered fact table must carry (§4.3); counted in size only.
 	PKIndex *btree.Tree
@@ -79,6 +83,10 @@ func (o *Object) AddBTree(cols []int) *SecondaryIndex {
 // AddCM attaches a correlation map.
 func (o *Object) AddCM(m *cm.CM) { o.CMs = append(o.CMs, m) }
 
+// AddCorrIdx attaches a correlation index. The index must have been built
+// over this object's relation (its host column is the clustered lead).
+func (o *Object) AddCorrIdx(x *corridx.Index) { o.CorrIdxs = append(o.CorrIdxs, x) }
+
 // Bytes is the object's total size: heap + secondary structures.
 func (o *Object) Bytes() int64 {
 	n := o.Rel.HeapBytes()
@@ -87,6 +95,9 @@ func (o *Object) Bytes() int64 {
 	}
 	for _, m := range o.CMs {
 		n += m.Bytes()
+	}
+	for _, x := range o.CorrIdxs {
+		n += x.Bytes()
 	}
 	if o.PKIndex != nil {
 		n += o.PKIndex.Bytes()
@@ -119,6 +130,10 @@ const (
 	// CMScan rewrites predicates through a correlation map into clustered
 	// page ranges (the paper's query-rewriting technique, A-1.3).
 	CMScan
+	// CorrIdxScan translates a predicate on a correlated target column into
+	// host-value ranges on the clustered lead (plus outlier probes) through
+	// a correlation index.
+	CorrIdxScan
 )
 
 // String names the plan kind.
@@ -132,6 +147,8 @@ func (k PlanKind) String() string {
 		return "secondary"
 	case CMScan:
 		return "cm"
+	case CorrIdxScan:
+		return "corridx"
 	default:
 		return fmt.Sprintf("plan(%d)", int(k))
 	}
@@ -176,6 +193,16 @@ func execute(o *Object, q *query.Query, spec PlanSpec, visit func(value.Row)) (R
 	if !o.Covers(q) {
 		return Result{}, fmt.Errorf("exec: object %s does not cover query %s", o.Rel.Name, q.Name)
 	}
+	res, err := dispatch(o, q, spec, visit)
+	if err == nil {
+		// Record the exact spec (including the index slot) so replaying a
+		// result's Plan re-runs the same access path.
+		res.Plan = spec
+	}
+	return res, err
+}
+
+func dispatch(o *Object, q *query.Query, spec PlanSpec, visit func(value.Row)) (Result, error) {
 	switch spec.Kind {
 	case SeqScan:
 		return execSeqScan(o, q, visit), nil
@@ -191,6 +218,11 @@ func execute(o *Object, q *query.Query, spec PlanSpec, visit func(value.Row)) (R
 			return Result{}, fmt.Errorf("exec: no CM %d on %s", spec.Index, o.Rel.Name)
 		}
 		return execCMScan(o, q, o.CMs[spec.Index], visit), nil
+	case CorrIdxScan:
+		if spec.Index < 0 || spec.Index >= len(o.CorrIdxs) {
+			return Result{}, fmt.Errorf("exec: no correlation index %d on %s", spec.Index, o.Rel.Name)
+		}
+		return execCorrIdxScan(o, q, o.CorrIdxs[spec.Index], visit)
 	default:
 		return Result{}, fmt.Errorf("exec: unknown plan kind %d", spec.Kind)
 	}
@@ -222,6 +254,11 @@ func Plans(o *Object, q *query.Query) []PlanSpec {
 		}
 		if usable {
 			specs = append(specs, PlanSpec{Kind: CMScan, Index: i})
+		}
+	}
+	for i, x := range o.CorrIdxs {
+		if q.Predicate(o.Rel.Schema.Columns[x.TargetCol].Name) != nil {
+			specs = append(specs, PlanSpec{Kind: CorrIdxScan, Index: i})
 		}
 	}
 	return specs
@@ -291,7 +328,6 @@ func execSeqScan(o *Object, q *query.Query, visit func(value.Row)) Result {
 		Sum:  sum,
 		Rows: rows,
 		IO:   storage.IOStats{Seeks: 1, PagesRead: o.Rel.NumPages()},
-		Plan: PlanSpec{Kind: SeqScan},
 	}
 }
 
@@ -397,7 +433,6 @@ func execClusteredScan(o *Object, q *query.Query, visit func(value.Row)) Result 
 	runs := clusteredRuns(o, q)
 	cq := o.compile(q)
 	var res Result
-	res.Plan = PlanSpec{Kind: ClusteredScan}
 	intervals := make([][2]int, 0, len(runs))
 	for _, run := range runs {
 		s, n := sumRange(o, cq, run.lo, run.hi, visit)
@@ -417,7 +452,6 @@ func execSecondaryScan(o *Object, q *query.Query, idx *SecondaryIndex, visit fun
 	lead := o.Rel.Schema.Columns[idx.Cols[0]].Name
 	p := q.Predicate(lead)
 	var res Result
-	res.Plan = PlanSpec{Kind: SecondaryScan}
 	var rids []int32
 	if p.Op == query.In {
 		// One descent per IN value: locate every leaf run first, size the
@@ -473,13 +507,69 @@ func execSecondaryScan(o *Object, q *query.Query, idx *SecondaryIndex, visit fun
 	return res
 }
 
+// execCorrIdxScan answers q through a correlation index: the target
+// predicate is translated into host-value ranges, each range is narrowed to
+// a contiguous heap run through the clustered order (the host column leads
+// the clustered key), outlier rows are probed in the index's B+Tree, and
+// the union of touched pages is swept with the full residual predicates —
+// so bucketing false positives are filtered and the answer matches a scan.
+func execCorrIdxScan(o *Object, q *query.Query, x *corridx.Index, visit func(value.Row)) (Result, error) {
+	if len(o.Rel.ClusterKey) == 0 || o.Rel.ClusterKey[0] != x.HostCol {
+		return Result{}, fmt.Errorf("exec: correlation index host %d does not lead %s's clustered key", x.HostCol, o.Rel.Name)
+	}
+	p := q.Predicate(o.Rel.Schema.Columns[x.TargetCol].Name)
+	if p == nil {
+		return Result{}, fmt.Errorf("exec: query %s has no predicate on correlation index target", q.Name)
+	}
+	var res Result
+	// Read the mapping itself: one seek plus its pages.
+	res.IO.Seeks++
+	res.IO.PagesRead += x.Pages()
+	res.IO.IndexPagesRead += x.Pages()
+	var intervals [][2]int
+	for _, r := range x.Translate(p) {
+		lo, hi := o.Rel.PrefixRange(r.Lo, r.Hi)
+		if hi > lo {
+			intervals = append(intervals, [2]int{o.Rel.PageOfRow(lo), o.Rel.PageOfRow(hi-1) + 1})
+		}
+	}
+	rids, oio := x.OutlierRIDs(p)
+	res.IO.Add(oio)
+	slices.Sort(rids)
+	for _, rid := range rids {
+		pg := o.Rel.PageOfRow(int(rid))
+		intervals = append(intervals, [2]int{pg, pg + 1})
+	}
+	slices.SortFunc(intervals, func(a, b [2]int) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
+		}
+		return a[1] - b[1]
+	})
+	frags := pageFragments(intervals)
+	res.Fragments, res.TouchedIntervals = len(frags), len(intervals)
+	chargeFragments(o, frags, &res.IO)
+	cq := o.compile(q)
+	tpp := o.Rel.TuplesPerPage()
+	for _, f := range frags {
+		lo := f[0] * tpp
+		hi := f[1] * tpp
+		if hi > len(o.Rel.Rows) {
+			hi = len(o.Rel.Rows)
+		}
+		s, n := sumRange(o, cq, lo, hi, visit)
+		res.Sum += s
+		res.Rows += n
+	}
+	return res, nil
+}
+
 func execCMScan(o *Object, q *query.Query, m *cm.CM, visit func(value.Row)) Result {
 	preds := make([]*query.Predicate, len(m.KeyCols))
 	for i, c := range m.KeyCols {
 		preds[i] = q.Predicate(o.Rel.Schema.Columns[c].Name)
 	}
 	var res Result
-	res.Plan = PlanSpec{Kind: CMScan}
 	// Read the CM itself: one seek plus its pages.
 	res.IO.Seeks++
 	res.IO.PagesRead += m.Pages()

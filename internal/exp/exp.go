@@ -153,12 +153,24 @@ func solverWorkers() int {
 // NewSSBEnv generates the SSB environment; augmented selects the 52-query
 // workload.
 func NewSSBEnv(s Scale, augmented bool) *Env {
+	return newSSBEnv(s, augmented, false)
+}
+
+// NewSSBChronoEnv generates the SSB environment with chronologically
+// numbered orders (orderdate nearly monotone in the orderkey clustering),
+// the load-order correlation the corridx ablation exploits.
+func NewSSBChronoEnv(s Scale) *Env {
+	return newSSBEnv(s, false, true)
+}
+
+func newSSBEnv(s Scale, augmented, chrono bool) *Env {
 	rel := ssb.Generate(ssb.Config{
-		Rows:      s.SSBRows,
-		Customers: maxInt(1000, s.SSBRows/30),
-		Suppliers: maxInt(200, s.SSBRows/400),
-		Parts:     maxInt(1000, s.SSBRows/40),
-		Seed:      s.Seed,
+		Rows:        s.SSBRows,
+		Customers:   maxInt(1000, s.SSBRows/30),
+		Suppliers:   maxInt(200, s.SSBRows/400),
+		Parts:       maxInt(1000, s.SSBRows/40),
+		Seed:        s.Seed,
+		ChronoDates: chrono,
 	})
 	st := stats.New(rel, s.Sample, s.Seed+1)
 	w := ssb.Queries()

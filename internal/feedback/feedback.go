@@ -73,7 +73,10 @@ func BuildProblem(g *candgen.Generator, designs []*costmodel.MVDesign, base []fl
 			times[qi] = c
 		}
 		fg := 0
-		if d.FactRecluster {
+		if d.FactRecluster || d.FactOverlay {
+			// Re-clusterings and in-place fact overlays are mutually
+			// exclusive per fact table: re-sorting the heap would invalidate
+			// an overlay's learned mappings (condition 4 of §5.1, extended).
 			fg = d.FactGroup + 1 // shift: ILP group ids are positive
 		}
 		cands[i] = ilp.Candidate{

@@ -59,11 +59,20 @@ func NewRange(col string, lo, hi value.V) Predicate {
 	return Predicate{Col: col, Op: Range, Lo: lo, Hi: hi}
 }
 
-// NewIn builds an IN predicate; vs is copied and sorted.
+// NewIn builds an IN predicate; vs is copied, sorted and deduplicated
+// (plans that descend or split once per set value rely on distinctness).
 func NewIn(col string, vs ...value.V) Predicate {
 	set := append([]value.V(nil), vs...)
 	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
-	return Predicate{Col: col, Op: In, Set: set}
+	n := 0
+	for i, v := range set {
+		if i > 0 && v == set[n-1] {
+			continue
+		}
+		set[n] = v
+		n++
+	}
+	return Predicate{Col: col, Op: In, Set: set[:n]}
 }
 
 // Matches reports whether v satisfies the predicate.

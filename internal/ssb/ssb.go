@@ -110,6 +110,13 @@ type Config struct {
 	Customers, Suppliers, Parts int
 	// Seed makes generation deterministic.
 	Seed int64
+	// ChronoDates makes orderdate (nearly) monotone in orderkey, the way a
+	// real order-entry system numbers orders chronologically: row i's order
+	// day advances with i, jittered by a few days of out-of-order entry.
+	// This is the correlation Hermit-style secondary indexes exploit on a
+	// table kept in its load order. Off by default, which leaves generation
+	// bit-identical to the original independent-date sampling.
+	ChronoDates bool
 }
 
 // DefaultConfig is a laptop-scale instance preserving SSB's correlation
@@ -148,7 +155,18 @@ func Generate(cfg Config) *storage.Relation {
 		ck := value.V(rng.Intn(cfg.Customers))
 		sk := value.V(rng.Intn(cfg.Suppliers))
 		pk := value.V(rng.Intn(cfg.Parts))
-		day := rng.Intn(numYears * daysYear)
+		var day int
+		if cfg.ChronoDates {
+			day = i*(numYears*daysYear)/cfg.Rows + rng.Intn(5) - 2
+			if day < 0 {
+				day = 0
+			}
+			if day >= numYears*daysYear {
+				day = numYears*daysYear - 1
+			}
+		} else {
+			day = rng.Intn(numYears * daysYear)
+		}
 		date, year, ym, wk := DateOf(day)
 		commitDay := day + 1 + rng.Intn(30)
 		if commitDay >= numYears*daysYear {
