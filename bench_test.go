@@ -145,3 +145,12 @@ func BenchmarkAblationCorrIdx(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkAblationDeploy(b *testing.B) {
+	s := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exp.DeployAblation(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,10 +4,18 @@
 //
 // Usage:
 //
-//	experiments [-full] [-run id] [-ssbrows n] [-apbrows n]
+//	experiments [-full] [-chrono] [-run id] [-ssbrows n] [-apbrows n]
 //
 // where id selects one experiment: table1, fig5, fig6, fig7, fig9, fig10,
-// fig11, fig13, fig14, a3, relax, merge, cidx, all (default all).
+// fig11, fig13, fig14, a3, relax, merge, cidx, deploy, all (default all).
+// -chrono switches every SSB experiment to the chronologically loaded
+// variant (orderdate nearly monotone in the orderkey clustering — the
+// load-order correlation scenario the cidx ablation introduced).
+//
+// Environment: CORADD_SOLVER_WORKERS selects parallel exact solves;
+// CORADD_SOLVER_MAXNODES overrides the 5M branch-and-bound node cap
+// (negative = unlimited), the off-runner escape hatch for running the
+// Figure 9/11 mid-budget instances to proven optimality alongside -full.
 package main
 
 import (
@@ -22,7 +30,8 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "use the larger paper-like scale (slower)")
-	run := flag.String("run", "all", "experiment id: table1,fig5,fig6,fig7,fig9,fig10,fig11,fig13,fig14,a3,relax,merge,cidx,all")
+	chrono := flag.Bool("chrono", false, "chronologically loaded SSB (load-order correlation scenario)")
+	run := flag.String("run", "all", "experiment id: table1,fig5,fig6,fig7,fig9,fig10,fig11,fig13,fig14,a3,relax,merge,cidx,deploy,all")
 	ssbRows := flag.Int("ssbrows", 0, "override SSB fact rows")
 	apbRows := flag.Int("apbrows", 0, "override APB fact rows")
 	optQueries := flag.Int("optqueries", 8, "workload size for the Figure 7 OPT brute force")
@@ -38,6 +47,7 @@ func main() {
 	if *apbRows > 0 {
 		scale.APBRows = *apbRows
 	}
+	scale.ChronoSSB = *chrono
 
 	want := func(id string) bool { return *run == "all" || strings.EqualFold(*run, id) }
 	out := os.Stdout
@@ -158,6 +168,14 @@ func main() {
 	})
 	step("cidx", func() error {
 		_, t, err := exp.CorrIdxAblation(scale)
+		if err != nil {
+			return err
+		}
+		t.Print(out)
+		return nil
+	})
+	step("deploy", func() error {
+		_, t, err := exp.DeployAblation(scale)
 		if err != nil {
 			return err
 		}

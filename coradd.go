@@ -28,6 +28,7 @@ import (
 	"coradd/internal/cm"
 	"coradd/internal/corridx"
 	"coradd/internal/costmodel"
+	"coradd/internal/deploy"
 	"coradd/internal/designer"
 	"coradd/internal/exec"
 	"coradd/internal/feedback"
@@ -64,6 +65,8 @@ type (
 	MVDesign = costmodel.MVDesign
 	// DiskParams converts simulated I/O into seconds.
 	DiskParams = storage.DiskParams
+	// IOStats is accumulated plan I/O (seeks, pages read).
+	IOStats = storage.IOStats
 	// RunResult is a measured design (per-query simulated seconds).
 	RunResult = designer.RunResult
 	// CM is a correlation map, the paper's compressed secondary index.
@@ -76,6 +79,16 @@ type (
 	CorrIdxConfig = corridx.Config
 	// Object is a materialized design object with its indexes and CMs.
 	Object = exec.Object
+	// MigrationPlan is an ordered build schedule migrating one design into
+	// another while the workload keeps running (internal/deploy).
+	MigrationPlan = designer.MigrationPlan
+	// MigrationStep is one build of a migration plan.
+	MigrationStep = designer.MigrationStep
+	// DeployOptions tunes the deployment scheduler's branch-and-bound.
+	DeployOptions = deploy.Options
+	// DeploySchedule is a solved (or explicitly evaluated) build order
+	// with its cumulative-cost accounting.
+	DeploySchedule = deploy.Schedule
 )
 
 // Value types: all attribute values are int64-coded (string attributes are
@@ -172,6 +185,17 @@ func DesignCM(rel *Relation, q *Query) *CM {
 // candidates in the designer with SystemConfig.Candidates.CorrIdx.
 func BuildCorrIdx(rel *Relation, target string) (*CorrIndex, error) {
 	return corridx.Build(rel, rel.Schema.MustCol(target), corridx.DefaultConfig())
+}
+
+// BuildFromObject materializes a new design relation by scanning src —
+// the deployment scheduler's build-from-object path: an index or
+// narrower MV is constructed from an already-deployed MV instead of
+// re-reading the fact table. cols are column positions in src's schema,
+// newKey the clustered key in the new schema. Returns the relation and
+// the simulated build I/O (the heap component of the scheduler's
+// build-cost model).
+func BuildFromObject(src *Object, name string, cols []int, newKey []int) (*Relation, IOStats) {
+	return exec.BuildFrom(src, name, cols, newKey)
 }
 
 // ExecuteBest runs q on o through the cheapest feasible plan and returns
@@ -337,6 +361,32 @@ func (s *System) Baselines(cfg SystemConfig) (commercial, naive designer.Designe
 	com := designer.NewCommercial(common, cfg.Candidates)
 	s.evaluator.Commercial = com
 	return com, designer.NewNaive(common, cfg.Candidates)
+}
+
+// PlanMigration schedules the builds that turn the deployed design from
+// into design to while this system's workload keeps running, minimizing
+// cumulative workload cost over the deployment window (the evolving-
+// workload story: design each phase with Design, then schedule the
+// migration with the *new* phase's System). from may be nil for a fresh
+// deployment. Both designs must be over this system's fact relation.
+func (s *System) PlanMigration(from, to *Design, opts DeployOptions) (*MigrationPlan, error) {
+	return designer.PlanMigration(s.St, s.Disk, s.W, s.coradd.Model, from, to, opts)
+}
+
+// MigrationPrefix assembles the intermediate design the workload runs on
+// after the given builds of a migration plan (indexes into plan.Builds)
+// are deployed: the kept objects plus that prefix, routed by this
+// system's cost model. Measure it to trace a schedule's real
+// cumulative-cost curve.
+func (s *System) MigrationPrefix(plan *MigrationPlan, deployed []int) *Design {
+	return plan.PrefixDesign(s.coradd.Model, s.W, deployed)
+}
+
+// EvaluateSchedule prices an explicit build order on a migration plan's
+// scheduling problem — the tool for comparing naive deployment orders
+// (arbitrary, size-ascending) against the solved schedule.
+func EvaluateSchedule(plan *MigrationPlan, order []int) (*DeploySchedule, error) {
+	return deploy.Evaluate(plan.Problem, order)
 }
 
 // DiscoverCorrelations runs the CORDS-style discovery pass over the fact

@@ -80,14 +80,18 @@ func (g *Generator) measureCorr(host, target int) corrStat {
 	// widths derived from its pairs. NumPairs/distinct ≈ clustered
 	// fragments per target value — 1 means perfectly contiguous.
 	base := cm.Build(synRel, []int{target}, []value.V{1}, 1)
+	// The fitting width is pure arithmetic (entry count vs space limit);
+	// derive the coarser CM once, at the final width only.
 	width := value.V(1)
-	m := base
 	for {
 		entries := int(g.St.Distinct(target)/float64(width)) + 1
 		if corridx.MappingBytes(entries) <= corrIdxSpaceLimit || width >= 1<<20 {
 			break
 		}
 		width *= 2
+	}
+	m := base
+	if width > 1 {
 		m = cm.Derive(base, []value.V{width})
 	}
 	distinctBuckets := make(map[value.V]bool)

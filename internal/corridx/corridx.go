@@ -280,4 +280,3 @@ func (x *Index) OutlierRIDs(pred *query.Predicate) ([]int32, storage.IOStats) {
 	io.Add(rio)
 	return rids, io
 }
-

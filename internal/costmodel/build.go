@@ -1,0 +1,83 @@
+package costmodel
+
+import (
+	"coradd/internal/btree"
+	"coradd/internal/corridx"
+	"coradd/internal/stats"
+	"coradd/internal/storage"
+)
+
+// This file is the build-cost model the deployment scheduler
+// (internal/deploy) prices schedules with: how long constructing a design
+// object takes, from the fact table or — the build-from-MV shortcut — by
+// scanning an already-deployed MV that carries every column the new
+// object needs. The accounting mirrors exec.BuildFrom so predicted build
+// times and the simulated build path agree:
+//
+//	build = scan(source) + external sort(output) + write(heap)
+//	      + write(secondary structures)
+//
+// with the sort skipped when the new clustered key is a prefix of the
+// source's (projection preserves the order), and the sort sized by
+// storage.SortPasses.
+
+// CanBuildFrom reports whether design d can be constructed by scanning a
+// deployed instance of src: src must carry every column d needs. An
+// in-place fact overlay (FactOverlay) deploys structure on the fact heap
+// itself, so it can only be built from the base source.
+func CanBuildFrom(d, src *MVDesign) bool {
+	if d.FactOverlay {
+		return false
+	}
+	for _, c := range d.Cols {
+		if !src.HasCol(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildSeconds prices constructing d by scanning src; src == nil means
+// the fact heap in its current clustering. The estimate is statistics-only
+// (nothing is materialized), deterministic, and monotone in the source's
+// size — which is what makes narrower deployed MVs worthwhile shortcuts.
+func BuildSeconds(st *stats.Stats, disk storage.DiskParams, d, src *MVDesign) float64 {
+	srcPages := st.Rel.NumPages()
+	srcKey := st.Rel.ClusterKey
+	if src != nil {
+		srcPages = src.NumPages(st)
+		srcKey = src.ClusterKey
+	}
+	seeks, pages := 1, srcPages // scan the source once
+
+	if !d.FactOverlay {
+		outPages := d.NumPages(st)
+		if !storage.IsKeyPrefix(d.ClusterKey, srcKey) {
+			passes := storage.SortPasses(outPages)
+			seeks += 2 * passes
+			pages += 2 * outPages * passes
+		}
+		seeks++ // write the output heap
+		pages += outPages
+	}
+	if d.FactRecluster && len(d.PKCols) > 0 {
+		pages += structPages(btree.EstimateBytes(st.NumRows(), st.Rel.Schema.SubsetBytes(d.PKCols)))
+		seeks++
+	}
+	for _, spec := range d.CorrIdxs {
+		outRows := int(spec.EstOutlierFrac * float64(st.NumRows()))
+		pages += structPages(corridx.EstimateBytes(spec.EstEntries, outRows, st.Rel.Schema.Columns[spec.Target].ByteSize))
+		seeks++
+	}
+	return float64(seeks)*disk.SeekCost + float64(pages)*disk.PageReadCost
+}
+
+// structPages converts a secondary structure's byte estimate into written
+// pages (at least one).
+func structPages(bytes int64) int {
+	p := int((bytes + storage.PageSize - 1) / storage.PageSize)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}

@@ -1,0 +1,117 @@
+package costmodel
+
+import (
+	"sort"
+	"testing"
+
+	"coradd/internal/ssb"
+	"coradd/internal/stats"
+	"coradd/internal/storage"
+)
+
+// sortedCols resolves names to sorted base positions (MVDesign.Cols must
+// be sorted for HasCol's binary search).
+func sortedCols(st *stats.Stats, names ...string) []int {
+	cols := st.Rel.Schema.ColSet(names...)
+	sort.Ints(cols)
+	return cols
+}
+
+func buildFixture(t *testing.T) *stats.Stats {
+	t.Helper()
+	rel := ssb.Generate(ssb.Config{Rows: 60000, Customers: 1000, Suppliers: 200, Parts: 800, Seed: 9})
+	return stats.New(rel, 1024, 1)
+}
+
+func TestBuildSecondsShortcuts(t *testing.T) {
+	st := buildFixture(t)
+	s := st.Rel.Schema
+	disk := storage.DefaultDiskParams()
+	narrow := &MVDesign{
+		Name: "narrow",
+		Cols: sortedCols(st, ssb.ColYear, ssb.ColDiscount, ssb.ColRevenue),
+	}
+	narrow.ClusterKey = []int{s.MustCol(ssb.ColYear)}
+	wide := &MVDesign{
+		Name: "wide",
+		Cols: sortedCols(st, ssb.ColYear, ssb.ColDiscount, ssb.ColQuantity, ssb.ColRevenue, ssb.ColPCategory),
+	}
+	wide.ClusterKey = []int{s.MustCol(ssb.ColYear)}
+	disjoint := &MVDesign{Name: "other", Cols: sortedCols(st, ssb.ColSNation, ssb.ColRevenue)}
+
+	if !CanBuildFrom(narrow, wide) {
+		t.Error("wide MV covers narrow but CanBuildFrom = false")
+	}
+	if CanBuildFrom(wide, narrow) {
+		t.Error("narrow MV cannot source the wide one")
+	}
+	if CanBuildFrom(narrow, disjoint) {
+		t.Error("disjoint MV accepted as source")
+	}
+	overlay := &MVDesign{Name: "ov", Cols: wide.Cols, FactOverlay: true}
+	if CanBuildFrom(overlay, wide) {
+		t.Error("fact overlay must only build from the base source")
+	}
+
+	fromFact := BuildSeconds(st, disk, narrow, nil)
+	fromWide := BuildSeconds(st, disk, narrow, wide)
+	if fromWide >= fromFact {
+		t.Errorf("build-from-MV %.4fs not cheaper than from fact %.4fs", fromWide, fromFact)
+	}
+	if fromFact <= 0 || fromWide <= 0 {
+		t.Error("non-positive build costs")
+	}
+}
+
+// TestBuildSecondsSortCharge: re-sorting the output costs exactly the
+// external-sort passes; a key that extends the source's clustered prefix
+// skips them.
+func TestBuildSecondsSortCharge(t *testing.T) {
+	st := buildFixture(t)
+	disk := storage.DiskParams{SeekCost: 0, PageReadCost: 1} // count pages
+	all := make([]int, len(st.Rel.Schema.Columns))
+	for i := range all {
+		all[i] = i
+	}
+	aligned := &MVDesign{Name: "aligned", Cols: all, ClusterKey: st.Rel.ClusterKey}
+	rekeyed := &MVDesign{Name: "rekeyed", Cols: all, ClusterKey: []int{st.Rel.Schema.MustCol(ssb.ColYear)}}
+	outPages := aligned.NumPages(st)
+	passes := storage.SortPasses(outPages)
+	if passes == 0 {
+		t.Fatal("fixture too small to need sort passes")
+	}
+	diff := BuildSeconds(st, disk, rekeyed, nil) - BuildSeconds(st, disk, aligned, nil)
+	want := float64(2 * outPages * passes)
+	if diff != want {
+		t.Errorf("sort charge %.0f pages, want %.0f", diff, want)
+	}
+}
+
+// TestBuildSecondsStructures: fact re-clusterings carry their PK index
+// write, corridx specs their structure write, overlays no heap at all.
+func TestBuildSecondsStructures(t *testing.T) {
+	st := buildFixture(t)
+	disk := storage.DefaultDiskParams()
+	all := make([]int, len(st.Rel.Schema.Columns))
+	for i := range all {
+		all[i] = i
+	}
+	year := st.Rel.Schema.MustCol(ssb.ColYear)
+	plain := &MVDesign{Name: "plain", Cols: all, ClusterKey: []int{year}}
+	fact := &MVDesign{Name: "fact", Cols: all, ClusterKey: []int{year},
+		FactRecluster: true, PKCols: st.Rel.ClusterKey}
+	if BuildSeconds(st, disk, fact, nil) <= BuildSeconds(st, disk, plain, nil) {
+		t.Error("fact re-clustering's PK index write not charged")
+	}
+	overlay := &MVDesign{Name: "ov", Cols: all, FactOverlay: true,
+		CorrIdxs: []CorrIdxSpec{{Target: year, Width: 1, EstEntries: 7}}}
+	ovCost := BuildSeconds(st, disk, overlay, nil)
+	// An overlay build scans the heap and writes only the structure: far
+	// cheaper than any heap-writing build.
+	if ovCost >= BuildSeconds(st, disk, plain, nil) {
+		t.Errorf("overlay build %.4fs not cheaper than a full MV build", ovCost)
+	}
+	if ovCost <= 0 {
+		t.Error("overlay build cost non-positive")
+	}
+}

@@ -1,0 +1,52 @@
+package deploy
+
+// greedyOrder builds the benefit-density incumbent: at each step, among
+// the objects whose prerequisites are deployed, pick the one with the
+// highest marginal benefit per build-second at the current state,
+//
+//	density(o | S) = (W(S) − W(S ∪ {o})) / build(o | S),
+//
+// breaking ties toward the cheaper build and then the lower index — a
+// deterministic rule, so the incumbent (and hence the whole search) is
+// reproducible. Objects with zero remaining benefit sort purely by build
+// cost: finishing cheap builds first both ends the window sooner and
+// unlocks their shortcuts earliest.
+func greedyOrder(p *Problem, after []uint64) []int {
+	n := len(p.Objects)
+	order := make([]int, 0, n)
+	times := append([]float64(nil), p.Base...)
+	var mask uint64
+	full := fullMask(n)
+	for mask != full {
+		best, bestDelta, bestBuild := -1, 0.0, 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 || after[i]&^mask != 0 {
+				continue
+			}
+			delta := p.marginalBenefit(times, i)
+			b := p.buildTime(i, mask)
+			if best < 0 {
+				best, bestDelta, bestBuild = i, delta, b
+				continue
+			}
+			// density(i) > density(best) ⇔ delta·bestBuild > bestDelta·b
+			// (build costs are validated positive); cross-multiplying
+			// avoids division noise in the comparison.
+			l, r := delta*bestBuild, bestDelta*b
+			if l > r || (l == r && b < bestBuild) {
+				best, bestDelta, bestBuild = i, delta, b
+			}
+		}
+		order = append(order, best)
+		p.applyObject(times, times, best)
+		mask |= 1 << uint(best)
+	}
+	return order
+}
+
+func fullMask(n int) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return (uint64(1) << uint(n)) - 1
+}

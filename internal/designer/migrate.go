@@ -1,0 +1,239 @@
+package designer
+
+import (
+	"fmt"
+	"sort"
+
+	"coradd/internal/costmodel"
+	"coradd/internal/deploy"
+	"coradd/internal/query"
+	"coradd/internal/stats"
+	"coradd/internal/storage"
+)
+
+// MigrationStep is one build of a migration plan.
+type MigrationStep struct {
+	// Object is the design object this step constructs.
+	Object *costmodel.MVDesign
+	// BuildSeconds is the priced build time given the objects deployed
+	// before this step; Source names the scanned build source — "fact",
+	// a kept object surviving from the old design, or an earlier step's
+	// object (the build-from-MV shortcut).
+	BuildSeconds float64
+	Source       string
+	// RateSeconds is the model-expected workload cost per round while
+	// this build runs; CumSeconds the running Σ build·rate through it.
+	RateSeconds float64
+	CumSeconds  float64
+}
+
+// MigrationPlan is an ordered deployment schedule migrating one design
+// into another while the (new) workload keeps running: the order of
+// builds minimizing cumulative workload cost over the deployment window
+// (see internal/deploy).
+type MigrationPlan struct {
+	From, To *Design
+	// Kept are objects present in both designs (deployed throughout);
+	// Dropped are old objects absent from the target, removed up front
+	// (their space must be free before the new builds start — drops are
+	// modeled as instantaneous). Builds are the objects to construct,
+	// aligned with Problem.Objects.
+	Kept    []*costmodel.MVDesign
+	Dropped []*costmodel.MVDesign
+	Builds  []*costmodel.MVDesign
+	// Problem and Schedule are the underlying scheduling instance and its
+	// solved order, for callers comparing alternative orders through
+	// deploy.Evaluate.
+	Problem  *deploy.Problem
+	Schedule *deploy.Schedule
+	// Steps is the scheduled order with its cost accounting.
+	Steps []MigrationStep
+	// CumSeconds is the schedule's cumulative workload cost over the
+	// window (workload-seconds); StartRate/FinalRate the model-expected
+	// workload cost per round before and after the migration.
+	CumSeconds           float64
+	StartRate, FinalRate float64
+	// Nodes/Proven are the scheduler's search telemetry.
+	Nodes  int
+	Proven bool
+
+	baseSrc []string // per-build source name realizing the base build cost
+	st      *stats.Stats
+}
+
+// PlanMigration schedules the builds that turn design from into design to
+// while workload w (the new phase's workload) keeps running, minimizing
+// the cumulative workload cost of the deployment window. Build costs are
+// priced with costmodel.BuildSeconds — including build-from-MV shortcuts
+// through kept objects and through earlier scheduled builds — and
+// intermediate rates with the given cost model. from may be nil for a
+// fresh deployment. Both designs must be over the same fact relation.
+func PlanMigration(st *stats.Stats, disk storage.DiskParams, w query.Workload,
+	model costmodel.Model, from, to *Design, opts deploy.Options) (*MigrationPlan, error) {
+
+	if to == nil || to.Base == nil {
+		return nil, fmt.Errorf("designer: migration target design is required")
+	}
+	mp := &MigrationPlan{From: from, To: to, st: st}
+
+	// Split the target into kept (already deployed) and to-build, and the
+	// old design into kept and dropped, matching by structural identity.
+	oldKeys := map[string]bool{}
+	if from != nil {
+		for _, md := range from.Chosen {
+			oldKeys[md.Key()] = true
+		}
+	}
+	newKeys := map[string]bool{}
+	for _, md := range to.Chosen {
+		newKeys[md.Key()] = true
+		if oldKeys[md.Key()] {
+			mp.Kept = append(mp.Kept, md)
+		} else {
+			mp.Builds = append(mp.Builds, md)
+		}
+	}
+	if from != nil {
+		for _, md := range from.Chosen {
+			if !newKeys[md.Key()] {
+				mp.Dropped = append(mp.Dropped, md)
+			}
+		}
+	}
+
+	// Base state: the fact table plus every kept object.
+	nQ := len(w)
+	base := make([]float64, nQ)
+	weights := make([]float64, nQ)
+	for qi, q := range w {
+		t, _ := model.Estimate(to.Base, q)
+		for _, md := range mp.Kept {
+			if tk, _ := model.Estimate(md, q); tk < t {
+				t = tk
+			}
+		}
+		base[qi] = t
+		weights[qi] = q.EffectiveWeight()
+	}
+
+	// One deploy object per build: deployed-state times from the cost
+	// model, base build cost from the cheapest always-available source
+	// (fact heap or a kept MV), shortcuts through the other builds.
+	prob := &deploy.Problem{Base: base, Weights: weights}
+	mp.baseSrc = make([]string, len(mp.Builds))
+	for i, md := range mp.Builds {
+		times := make([]float64, nQ)
+		for qi, q := range w {
+			times[qi], _ = model.Estimate(md, q)
+		}
+		build := costmodel.BuildSeconds(st, disk, md, nil)
+		mp.baseSrc[i] = "fact"
+		for _, k := range mp.Kept {
+			if costmodel.CanBuildFrom(md, k) {
+				if c := costmodel.BuildSeconds(st, disk, md, k); c < build {
+					build = c
+					mp.baseSrc[i] = k.Name
+				}
+			}
+		}
+		o := deploy.Object{Name: md.Name, Times: times, Build: build}
+		for j, src := range mp.Builds {
+			if j == i || !costmodel.CanBuildFrom(md, src) {
+				continue
+			}
+			if c := costmodel.BuildSeconds(st, disk, md, src); c < build {
+				o.From = append(o.From, deploy.Shortcut{Src: j, Cost: c})
+			}
+		}
+		prob.Objects = append(prob.Objects, o)
+	}
+	mp.Problem = prob
+
+	sched, err := deploy.Solve(prob, opts)
+	if err != nil {
+		return nil, err
+	}
+	mp.Schedule = sched
+	mp.CumSeconds = sched.Cum
+	mp.StartRate = prob.Rate(nil)
+	mp.FinalRate = sched.FinalRate
+	mp.Nodes = sched.Nodes
+	mp.Proven = sched.Proven
+	mp.Steps = mp.StepsFor(sched)
+	return mp, nil
+}
+
+// SizeAscendingOrder returns the naive comparator order a DBA would
+// reach for — builds sorted by charged size ascending, ties kept in
+// selection order — the one definition shared by the deploy ablation and
+// the examples.
+func (mp *MigrationPlan) SizeAscendingOrder() []int {
+	order := make([]int, len(mp.Builds))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return mp.Builds[order[a]].Bytes(mp.st) < mp.Builds[order[b]].Bytes(mp.st)
+	})
+	return order
+}
+
+// StepsFor renders any schedule over the plan's problem (the solved one,
+// or a naive comparator priced with deploy.Evaluate) as migration steps.
+func (mp *MigrationPlan) StepsFor(s *deploy.Schedule) []MigrationStep {
+	steps := make([]MigrationStep, len(s.Order))
+	cum := 0.0
+	for k, oi := range s.Order {
+		cum += s.Builds[k] * s.Rates[k]
+		src := mp.baseSrc[oi]
+		if s.Sources[k] >= 0 {
+			src = mp.Builds[s.Sources[k]].Name
+		}
+		steps[k] = MigrationStep{
+			Object:       mp.Builds[oi],
+			BuildSeconds: s.Builds[k],
+			Source:       src,
+			RateSeconds:  s.Rates[k],
+			CumSeconds:   cum,
+		}
+	}
+	return steps
+}
+
+// PrefixDesign assembles the intermediate design deployed after the given
+// builds (indexes into Builds): the kept objects plus those builds,
+// routed by the model — what the workload actually runs on mid-migration.
+// Measuring these through an Evaluator (whose ObjectCache shares physical
+// structures across prefixes) yields the measured cumulative-cost curve
+// of a schedule.
+func (mp *MigrationPlan) PrefixDesign(model costmodel.Model, w query.Workload, deployed []int) *Design {
+	d := &Design{
+		Name:   fmt.Sprintf("%s+%d", mp.To.Name, len(deployed)),
+		Style:  mp.To.Style,
+		Budget: mp.To.Budget,
+		Base:   mp.To.Base,
+	}
+	d.Chosen = append(d.Chosen, mp.Kept...)
+	for _, bi := range deployed {
+		d.Chosen = append(d.Chosen, mp.Builds[bi])
+	}
+	d.Routing = make([]int, len(w))
+	d.Expected = make([]float64, len(w))
+	d.Paths = make([]costmodel.PathKind, len(w))
+	for qi, q := range w {
+		best, kind := model.Estimate(d.Base, q)
+		route := -1
+		for i, md := range d.Chosen {
+			if t, k := model.Estimate(md, q); t < best {
+				best, kind, route = t, k, i
+			}
+		}
+		d.Routing[qi] = route
+		d.Expected[qi] = best
+		d.Paths[qi] = kind
+	}
+	for _, md := range d.Chosen {
+		d.Size += md.Bytes(mp.st)
+	}
+	return d
+}

@@ -1,12 +1,16 @@
 package designer
 
 import (
+	"strconv"
 	"testing"
 
 	"coradd/internal/costmodel"
 	"coradd/internal/feedback"
 	"coradd/internal/par"
+	"coradd/internal/schema"
 	"coradd/internal/ssb"
+	"coradd/internal/storage"
+	"coradd/internal/value"
 )
 
 // cacheFixture builds a manual CORADD design over a small SSB instance and
@@ -238,5 +242,92 @@ func TestCacheEnvOverride(t *testing.T) {
 	c.mu.Unlock()
 	if max != 12345 {
 		t.Fatalf("max = %d, want 12345 from env", max)
+	}
+}
+
+// tinyRel builds a one-page relation for cache-accounting tests.
+func tinyRel(name string) *storage.Relation {
+	s := schema.New(schema.Column{Name: "k", ByteSize: 8})
+	rows := make([]value.Row, 16)
+	for i := range rows {
+		rows[i] = value.Row{value.V(i)}
+	}
+	return storage.NewRelation(name, s, []int{0}, rows)
+}
+
+// TestCacheEvictionOrderLRU pins the eviction order under byte pressure
+// configured through CORADD_CACHE_BYTES: with room for three one-page
+// relations, inserting a fourth evicts exactly the least recently used
+// entry — a recent hit protects its entry, and survivors are served from
+// cache without rebuilding.
+func TestCacheEvictionOrderLRU(t *testing.T) {
+	page := int64(storage.PageSize)
+	t.Setenv("CORADD_CACHE_BYTES", strconv.FormatInt(4*page-1, 10))
+	c := NewObjectCache()
+	builds := map[string]int{}
+	get := func(sig string) *storage.Relation {
+		return c.relation(sig, func() *storage.Relation {
+			builds[sig]++
+			return tinyRel(sig)
+		})
+	}
+	get("A")
+	get("B")
+	get("C")
+	get("A") // hit: A becomes most recent, B is now the LRU entry
+	get("D") // 4 pages > cap: evicts exactly one entry
+	if used := c.UsedBytes(); used != 3*page {
+		t.Fatalf("UsedBytes = %d after eviction, want %d", used, 3*page)
+	}
+	for _, sig := range []string{"A", "C", "D"} {
+		get(sig)
+		if builds[sig] != 1 {
+			t.Errorf("%s rebuilt (%d builds) — evicted out of LRU order", sig, builds[sig])
+		}
+	}
+	get("B")
+	if builds["B"] != 2 {
+		t.Errorf("B built %d times, want 2 (the LRU victim rebuilds on next use)", builds["B"])
+	}
+}
+
+// TestCacheFlushBetweenPhases drives the cmd/experiments usage pattern:
+// measure one phase, Flush to release its working set, measure the next
+// phase, and require both correct results and fully released accounting —
+// re-measuring phase 1 afterwards must rebuild to identical numbers.
+func TestCacheFlushBetweenPhases(t *testing.T) {
+	ev, d1, c := cacheFixture(t, 8000)
+	// Phase 2: same columns clustered differently.
+	md2 := &costmodel.MVDesign{
+		Name: "mv_phase2", Cols: d1.Chosen[0].Cols,
+		ClusterKey: []int{ev.Fact.Schema.MustCol(ssb.ColDiscount)},
+		Queries:    d1.Chosen[0].Queries,
+	}
+	d2 := manualDesign(t, c, StyleCORADD, md2)
+	copy(d2.Routing, d1.Routing)
+
+	r1, err := ev.Measure(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Cache.Flush()
+	if used := ev.Cache.UsedBytes(); used != 0 {
+		t.Fatalf("UsedBytes = %d after Flush, want 0", used)
+	}
+	if _, err := ev.Measure(d2); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Cache.UsedBytes() <= 0 {
+		t.Fatal("phase-2 measure charged nothing to the flushed cache")
+	}
+	r1b, err := ev.Measure(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range r1.Sums {
+		if r1.Sums[qi] != r1b.Sums[qi] || r1.PerQuery[qi] != r1b.PerQuery[qi] {
+			t.Fatalf("query %d differs after inter-phase flush: %v/%v vs %v/%v",
+				qi, r1.Sums[qi], r1.PerQuery[qi], r1b.Sums[qi], r1b.PerQuery[qi])
+		}
 	}
 }

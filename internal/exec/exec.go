@@ -257,7 +257,11 @@ func Plans(o *Object, q *query.Query) []PlanSpec {
 		}
 	}
 	for i, x := range o.CorrIdxs {
-		if q.Predicate(o.Rel.Schema.Columns[x.TargetCol].Name) != nil {
+		// Feasibility mirrors execCorrIdxScan: the index's host column must
+		// lead the clustered key (a re-clustered heap invalidates the
+		// learned ranges), so Best never trips over an unusable index.
+		hosted := len(o.Rel.ClusterKey) > 0 && o.Rel.ClusterKey[0] == x.HostCol
+		if hosted && q.Predicate(o.Rel.Schema.Columns[x.TargetCol].Name) != nil {
 			specs = append(specs, PlanSpec{Kind: CorrIdxScan, Index: i})
 		}
 	}

@@ -34,7 +34,7 @@ func NewAPBEnv(s Scale) *Env {
 		Common: designer.Common{
 			St: st, W: w, Disk: storage.DefaultDiskParams(),
 			PKCols: apb.PKCols(rel.Schema), BaseKey: rel.ClusterKey,
-			Solve: ilp.SolveOptions{Workers: solverWorkers()},
+			Solve: ilp.SolveOptions{Workers: solverWorkers(), MaxNodes: solverMaxNodes()},
 		},
 	}
 }

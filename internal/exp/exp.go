@@ -39,6 +39,12 @@ type Scale struct {
 	FB feedback.Config
 	// Seed drives all data generation.
 	Seed int64
+	// ChronoSSB switches every SSB environment to the chronologically
+	// loaded variant (ssb.Config.ChronoDates: orderdate nearly monotone in
+	// the orderkey clustering) — the load-order-correlation scenario,
+	// promoted from the cidx ablation to a first-class flag
+	// (cmd/experiments -chrono).
+	ChronoSSB bool
 }
 
 // QuickScale is small enough for the test suite.
@@ -150,6 +156,20 @@ func solverWorkers() int {
 	return 0
 }
 
+// solverMaxNodes reads the CORADD_SOLVER_MAXNODES override: the
+// branch-and-bound node cap for every exact solve the experiment drivers
+// run (0/unset keeps the 5M default, negative means unlimited). The
+// escape hatch for running the Figure 9/11 mid-budget instances to proven
+// optimality off-runner, typically alongside -full.
+func solverMaxNodes() int {
+	if v := os.Getenv("CORADD_SOLVER_MAXNODES"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return 0
+}
+
 // NewSSBEnv generates the SSB environment; augmented selects the 52-query
 // workload.
 func NewSSBEnv(s Scale, augmented bool) *Env {
@@ -170,7 +190,7 @@ func newSSBEnv(s Scale, augmented, chrono bool) *Env {
 		Suppliers:   maxInt(200, s.SSBRows/400),
 		Parts:       maxInt(1000, s.SSBRows/40),
 		Seed:        s.Seed,
-		ChronoDates: chrono,
+		ChronoDates: chrono || s.ChronoSSB,
 	})
 	st := stats.New(rel, s.Sample, s.Seed+1)
 	w := ssb.Queries()
@@ -182,7 +202,7 @@ func newSSBEnv(s Scale, augmented, chrono bool) *Env {
 		Common: designer.Common{
 			St: st, W: w, Disk: storage.DefaultDiskParams(),
 			PKCols: ssb.PKCols(rel.Schema), BaseKey: rel.ClusterKey,
-			Solve: ilp.SolveOptions{Workers: solverWorkers()},
+			Solve: ilp.SolveOptions{Workers: solverWorkers(), MaxNodes: solverMaxNodes()},
 		},
 	}
 }

@@ -39,7 +39,7 @@ func ILPVersusGreedy(env *Env) ([]SelectionPoint, *Table) {
 	par.ForEach(len(budgets), 0, func(i int) {
 		p := *prob
 		p.Budget = budgets[i]
-		exact := ilp.Solve(&p, ilp.SolveOptions{Workers: solverWorkers()})
+		exact := ilp.Solve(&p, ilp.SolveOptions{Workers: solverWorkers(), MaxNodes: solverMaxNodes()})
 		greedy := ilp.Greedy(&p, 2, 0)
 		pts[i] = SelectionPoint{
 			Budget: budgets[i], ILPExpected: exact.Objective, GreedyExpect: greedy.Objective,
@@ -80,10 +80,16 @@ func ILPSolverScaling(sizes []int, numQueries int, seed int64) ([]ScalingPoint, 
 		ID: "Figure 6", Title: "ILP solver runtime vs number of MV candidates",
 		Header: []string{"candidates", "seconds", "nodes", "proven"},
 	}
+	// Figure 6 measures wall time under a fixed 2M-node cap; the
+	// CORADD_SOLVER_MAXNODES escape hatch still overrides it when set.
+	maxNodes := solverMaxNodes()
+	if maxNodes == 0 {
+		maxNodes = 2_000_000
+	}
 	for _, n := range sizes {
 		prob := syntheticProblem(n, numQueries, seed)
 		start := time.Now()
-		sol := ilp.Solve(prob, ilp.SolveOptions{MaxNodes: 2_000_000, Workers: solverWorkers()})
+		sol := ilp.Solve(prob, ilp.SolveOptions{MaxNodes: maxNodes, Workers: solverWorkers()})
 		el := time.Since(start).Seconds()
 		pts = append(pts, ScalingPoint{Candidates: n, Seconds: el, Nodes: sol.Nodes, Proven: sol.Proven})
 		t.Rows = append(t.Rows, []string{
@@ -156,7 +162,7 @@ func RelaxationError(env *Env, maxCands int) ([]RelaxPoint, *Table) {
 	for _, budget := range env.Budgets() {
 		prob, _ := feedback.BuildProblem(d.Gen, d.Candidates(), base, budget)
 		prob = truncateProblem(prob, maxCands)
-		exact := ilp.Solve(prob, ilp.SolveOptions{Workers: solverWorkers()})
+		exact := ilp.Solve(prob, ilp.SolveOptions{Workers: solverWorkers(), MaxNodes: solverMaxNodes()})
 		relax, err := ilp.SolveRelaxed(prob)
 		if err != nil {
 			continue

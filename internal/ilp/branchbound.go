@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"math"
 	"sort"
 	"time"
 )
@@ -27,8 +28,10 @@ type Solution struct {
 
 // SolveOptions tunes the exact solver.
 type SolveOptions struct {
-	// MaxNodes caps search nodes; 0 means 5,000,000. In parallel mode the
-	// cap applies per subtree, so the total may exceed it.
+	// MaxNodes caps search nodes; 0 means 5,000,000, negative means
+	// unlimited (the CORADD_SOLVER_MAXNODES escape hatch the experiment
+	// drivers plumb through for off-runner proven solves). In parallel
+	// mode the cap applies per subtree, so the total may exceed it.
 	MaxNodes int
 	// TimeLimit caps wall time; 0 means none. A triggered time limit is the
 	// one intentionally nondeterministic cutoff (Proven reports it).
@@ -69,8 +72,10 @@ func Solve(p *Problem, opts SolveOptions) *Solution {
 	rp := red.p
 
 	maxNodes := opts.MaxNodes
-	if maxNodes <= 0 {
+	if maxNodes == 0 {
 		maxNodes = 5_000_000
+	} else if maxNodes < 0 {
+		maxNodes = math.MaxInt
 	}
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {

@@ -1,0 +1,45 @@
+package storage
+
+// External-sort model shared by the build-cost estimator (costmodel) and
+// the build-from-object path (exec): a build that must re-sort its output
+// runs an external merge sort with SortMemoryPages of working memory and
+// SortFanIn-way merges, reading and writing the whole output once per
+// pass. Both sides price sorts through SortPasses so predicted and
+// simulated build I/O agree.
+const (
+	// SortMemoryPages is the in-memory run size in pages (2 MB).
+	SortMemoryPages = 256
+	// SortFanIn is the merge fan-in per pass.
+	SortFanIn = 64
+)
+
+// IsKeyPrefix reports whether key is a prefix of of — the condition
+// under which a build skips the external sort: a source clustered on
+// (a,b,c) already delivers any projection in (a,b) order.
+func IsKeyPrefix(key, of []int) bool {
+	if len(key) > len(of) {
+		return false
+	}
+	for i, c := range key {
+		if of[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// SortPasses returns the number of read+write passes an external merge
+// sort of the given page count performs after run formation; 0 when the
+// data fits in sort memory.
+func SortPasses(pages int) int {
+	if pages <= SortMemoryPages {
+		return 0
+	}
+	runs := (pages + SortMemoryPages - 1) / SortMemoryPages
+	passes := 0
+	for runs > 1 {
+		runs = (runs + SortFanIn - 1) / SortFanIn
+		passes++
+	}
+	return passes
+}
