@@ -154,3 +154,12 @@ func BenchmarkAblationDeploy(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkAblationAdapt(b *testing.B) {
+	s := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exp.AdaptAblation(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,15 +7,35 @@
 //	experiments [-full] [-chrono] [-run id] [-ssbrows n] [-apbrows n]
 //
 // where id selects one experiment: table1, fig5, fig6, fig7, fig9, fig10,
-// fig11, fig13, fig14, a3, relax, merge, cidx, deploy, all (default all).
-// -chrono switches every SSB experiment to the chronologically loaded
-// variant (orderdate nearly monotone in the orderkey clustering — the
-// load-order correlation scenario the cidx ablation introduced).
+// fig11, fig13, fig14, a3, relax, merge, cidx, deploy, adapt, all
+// (default all).
 //
-// Environment: CORADD_SOLVER_WORKERS selects parallel exact solves;
-// CORADD_SOLVER_MAXNODES overrides the 5M branch-and-bound node cap
-// (negative = unlimited), the off-runner escape hatch for running the
-// Figure 9/11 mid-budget instances to proven optimality alongside -full.
+// Flags:
+//
+//	-full     the larger paper-like scale (slower)
+//	-chrono   chronologically loaded SSB for every SSB experiment
+//	          (orderdate nearly monotone in the orderkey clustering — the
+//	          load-order correlation scenario the cidx ablation
+//	          introduced; promoted to a first-class switch in PR 4)
+//	-ssbrows / -apbrows  fact-table row overrides
+//
+// Environment knobs (each applies to every experiment this command runs):
+//
+//	CORADD_SOLVER_WORKERS   parallel exact solves with this many workers
+//	                        (deterministic; results identical to the
+//	                        sequential default, only wall time changes —
+//	                        useful on multi-core hardware, idle on 1-CPU
+//	                        runners)
+//	CORADD_SOLVER_MAXNODES  branch-and-bound node cap per exact solve
+//	                        (0/unset = the 5M default, negative =
+//	                        unlimited — the off-runner escape hatch for
+//	                        running the Figure 9/11 mid-budget instances
+//	                        to proven optimality alongside -full)
+//	CORADD_CACHE_BYTES      materialization-cache capacity: a
+//	                        non-negative integer byte count (0 =
+//	                        unlimited; unset = the 1 GiB default).
+//	                        Negative or non-integer values are rejected
+//	                        at startup — see designer.ObjectCache.
 package main
 
 import (
@@ -31,7 +51,7 @@ import (
 func main() {
 	full := flag.Bool("full", false, "use the larger paper-like scale (slower)")
 	chrono := flag.Bool("chrono", false, "chronologically loaded SSB (load-order correlation scenario)")
-	run := flag.String("run", "all", "experiment id: table1,fig5,fig6,fig7,fig9,fig10,fig11,fig13,fig14,a3,relax,merge,cidx,deploy,all")
+	run := flag.String("run", "all", "experiment id: table1,fig5,fig6,fig7,fig9,fig10,fig11,fig13,fig14,a3,relax,merge,cidx,deploy,adapt,all")
 	ssbRows := flag.Int("ssbrows", 0, "override SSB fact rows")
 	apbRows := flag.Int("apbrows", 0, "override APB fact rows")
 	optQueries := flag.Int("optqueries", 8, "workload size for the Figure 7 OPT brute force")
@@ -176,6 +196,14 @@ func main() {
 	})
 	step("deploy", func() error {
 		_, t, err := exp.DeployAblation(scale)
+		if err != nil {
+			return err
+		}
+		t.Print(out)
+		return nil
+	})
+	step("adapt", func() error {
+		_, t, err := exp.AdaptAblation(scale)
 		if err != nil {
 			return err
 		}

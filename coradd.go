@@ -23,6 +23,7 @@ package coradd
 import (
 	"fmt"
 
+	"coradd/internal/adapt"
 	"coradd/internal/apb"
 	"coradd/internal/candgen"
 	"coradd/internal/cm"
@@ -38,6 +39,7 @@ import (
 	"coradd/internal/stats"
 	"coradd/internal/storage"
 	"coradd/internal/value"
+	"coradd/internal/workload"
 )
 
 // Core data types.
@@ -89,6 +91,27 @@ type (
 	// DeploySchedule is a solved (or explicitly evaluated) build order
 	// with its cumulative-cost accounting.
 	DeploySchedule = deploy.Schedule
+	// WorkloadMonitor is the online workload monitor: query templating,
+	// EWMA frequency tracking, recent literal bindings and deterministic
+	// drift detection (internal/workload).
+	WorkloadMonitor = workload.Monitor
+	// MonitorConfig tunes a WorkloadMonitor (half-life, reservoir size,
+	// drift thresholds).
+	MonitorConfig = workload.Config
+	// DriftReport is one drift decision with its evidence.
+	DriftReport = workload.DriftReport
+	// TemplateInfo is one observed query template's public view.
+	TemplateInfo = workload.TemplateInfo
+	// AdaptiveController runs the observe → drift → redesign → migrate →
+	// replan loop over a stream of executed queries (internal/adapt).
+	AdaptiveController = adapt.Controller
+	// AdaptiveConfig tunes the adaptive controller.
+	AdaptiveConfig = adapt.Config
+	// AdaptiveReport is the controller's telemetry (trace, counters,
+	// cumulative workload-seconds).
+	AdaptiveReport = adapt.Report
+	// AdaptiveEvent is one trace entry of an adaptive run.
+	AdaptiveEvent = adapt.Event
 )
 
 // Value types: all attribute values are int64-coded (string attributes are
@@ -387,6 +410,28 @@ func (s *System) MigrationPrefix(plan *MigrationPlan, deployed []int) *Design {
 // (arbitrary, size-ascending) against the solved schedule.
 func EvaluateSchedule(plan *MigrationPlan, order []int) (*DeploySchedule, error) {
 	return deploy.Evaluate(plan.Problem, order)
+}
+
+// NewWorkloadMonitor builds an online workload monitor with the given
+// clock (seconds; inject a fake for deterministic replays). Feed it the
+// executed query stream with Observe, read Drift for redesign decisions
+// and Snapshot for the decayed workload a redesign should solve for.
+func NewWorkloadMonitor(cfg MonitorConfig, clock func() float64) *WorkloadMonitor {
+	return workload.New(cfg, clock)
+}
+
+// Adaptive builds the adaptive redesign controller over this system:
+// initial is the currently deployed design (e.g. the result of Design for
+// the mix being served today) and cfg.Budget the space budget every
+// drift-triggered redesign solves for. Unset candidate/feedback tuning
+// inherits the system's. Drive it with Process/Run over the live query
+// stream; see internal/adapt for the loop's semantics.
+func (s *System) Adaptive(initial *Design, cfg AdaptiveConfig) (*AdaptiveController, error) {
+	cfg.Cand = fillCandidateDefaults(cfg.Cand)
+	if cfg.FB.MaxIters == 0 {
+		cfg.FB.MaxIters = s.coradd.Feedback.MaxIters
+	}
+	return adapt.New(s.coradd.Common, initial, cfg)
 }
 
 // DiscoverCorrelations runs the CORDS-style discovery pass over the fact

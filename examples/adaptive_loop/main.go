@@ -1,0 +1,94 @@
+// Adaptive loop: the batch designer turned into a self-adjusting system.
+// An SSB system is designed for the 13-query base mix and deployed; the
+// adaptive controller then watches the live query stream through the
+// online workload monitor (templating + decayed frequencies). Mid-run the
+// traffic shifts to the augmented 52-query mix: the monitor's drift
+// signals fire, the controller redesigns for the observed template
+// workload (warm-starting the exact solver from the incumbent design, so
+// the redesign explores no more nodes than a cold solve), schedules the
+// migration, and deploys it build by build while queries keep running —
+// all on one deterministic simulated timeline.
+package main
+
+import (
+	"fmt"
+
+	"coradd"
+)
+
+func main() {
+	rel := coradd.GenerateSSB(coradd.SSBConfig{
+		Rows: 30_000, Customers: 1500, Suppliers: 200, Parts: 1000, Seed: 42,
+	})
+	cfg := coradd.SystemConfig{Seed: 7, FeedbackIters: 1}
+	cfg.Candidates.Alphas = []float64{0, 0.25}
+	cfg.Candidates.Restarts = 2
+	cfg.Candidates.MaxInterleavings = 16
+	budget := rel.HeapBytes() / 2
+
+	// Today's design, for today's mix.
+	sys, err := coradd.NewSystem(rel, coradd.SSBQueries(), cfg)
+	must(err)
+	initial, err := sys.Design(budget)
+	must(err)
+	fmt.Printf("initial design: %d objects for the 13-query base mix (%.1f MB budget)\n",
+		len(initial.Chosen), float64(budget)/(1<<20))
+
+	// The controller watches the stream the deployed design serves.
+	ctl, err := sys.Adaptive(initial, coradd.AdaptiveConfig{
+		Budget: budget,
+		Monitor: coradd.MonitorConfig{
+			HalfLife:      2,  // seconds of simulated time
+			MinObserved:   26, // don't redesign off a handful of samples
+			DistThreshold: 0.25,
+		},
+		CheckEvery: 13,
+	})
+	must(err)
+
+	// Phase A: the base mix, round robin. Phase B: the augmented mix.
+	base := coradd.SSBQueries()
+	aug := coradd.SSBAugmentedQueries()
+	var stream []*coradd.Query
+	for r := 0; r < 6; r++ {
+		stream = append(stream, base...)
+	}
+	shift := len(stream)
+	for r := 0; r < 4; r++ {
+		stream = append(stream, aug...)
+	}
+
+	rep, err := ctl.Run(stream)
+	must(err)
+
+	fmt.Printf("stream: %d events (mix shifts at event %d)\n\n", len(stream), shift+1)
+	for _, e := range rep.Events {
+		fmt.Printf("  t=%6.2fs  ev=%4d  %-9s %s\n", e.Clock, e.Observed, e.Kind, e.Detail)
+	}
+	fmt.Printf("\nadaptive run: %.2f cumulative workload-seconds over %d events\n", rep.Cum, rep.Observed)
+	fmt.Printf("%d redesigns, %d builds deployed, %d mid-migration replans\n",
+		rep.Redesigns, rep.BuildsDone, rep.Replans)
+
+	// What the monitor learned about the traffic.
+	infos := ctl.Mon.Templates()
+	fmt.Printf("\nmonitor: %d templates tracked; busiest five by decayed rate:\n", len(infos))
+	top := append([]coradd.TemplateInfo(nil), infos...)
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			if top[j].Rate > top[i].Rate {
+				top[i], top[j] = top[j], top[i]
+			}
+		}
+	}
+	for i := 0; i < 5 && i < len(top); i++ {
+		t := top[i]
+		fmt.Printf("  %-8s rate %5.2f  share %4.1f%%  seen %3d×  %d recent bindings\n",
+			t.Name, t.Rate, 100*t.Share, t.Count, len(t.Bindings))
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

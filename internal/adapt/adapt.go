@@ -1,0 +1,640 @@
+// Package adapt closes the loop the batch pipeline leaves open: a design
+// is solved for the workload observed *yesterday*, deployed into traffic
+// that keeps moving, and is stale by the time the migration finishes. The
+// controller here couples the online workload monitor (internal/workload)
+// to the existing solve/deploy data plane:
+//
+//	observe → detect drift → incremental redesign → schedule migration
+//	       → deploy step by step → replan mid-migration from measured rates
+//
+// Observation: every executed query is fed to the monitor (templating +
+// EWMA rates) and charged its *measured* simulated seconds on the
+// currently deployed physical state; the simulated clock advances by the
+// same amount, so cumulative workload-seconds and deployment windows live
+// on one timeline, exactly like internal/deploy's objective.
+//
+// Redesign: on drift the controller snapshots the decayed template
+// workload and runs the full CORADD pipeline over it, warm-starting every
+// exact solve from the incumbent design's objects (ilp.SolveOptions.
+// WarmStart via feedback.Config.Warm) — unchanged regions of the search
+// are pruned immediately, so a redesign never explores more solver nodes
+// than a cold design of the same instance.
+//
+// Migration: designer.PlanMigration schedules the builds; while a build
+// runs, queries execute at the current prefix state's measured rate.
+// After every completed build the controller re-measures the deployed
+// prefix (the MigrationPrefix evaluation) and, when the measured workload
+// rate diverges from the rate the schedule assumed beyond a tolerance —
+// the mix kept drifting while the migration ran — re-solves the
+// *remaining* scheduling problem under the current snapshot.
+//
+// Everything is deterministic: the monitor's clock is the simulated
+// clock, measurement is the deterministic simulated substrate, and the
+// solvers are the deterministic exact searches — one stream replays to
+// one trace.
+package adapt
+
+import (
+	"fmt"
+	"sort"
+
+	"coradd/internal/candgen"
+	"coradd/internal/costmodel"
+	"coradd/internal/deploy"
+	"coradd/internal/designer"
+	"coradd/internal/feedback"
+	"coradd/internal/query"
+	"coradd/internal/stats"
+	"coradd/internal/storage"
+	"coradd/internal/workload"
+)
+
+// Config tunes a Controller.
+type Config struct {
+	// Budget is the space budget every redesign solves for, in bytes.
+	Budget int64
+	// Cand configures candidate generation for redesigns.
+	Cand candgen.Config
+	// FB configures the redesign's ILP feedback loop.
+	FB feedback.Config
+	// Deploy tunes the migration scheduler.
+	Deploy deploy.Options
+	// Monitor tunes the workload monitor (half-life, drift thresholds).
+	Monitor workload.Config
+	// CheckEvery is the drift-check cadence in observations. Default 16.
+	CheckEvery int
+	// MinGap is the minimum simulated seconds between redesigns, so a
+	// thrashing mix cannot trigger back-to-back solver runs. Default 0.
+	MinGap float64
+	// ReplanTolerance is the relative divergence between the measured
+	// workload rate of a deployed migration prefix and the rate the
+	// schedule assumed before the remaining schedule is re-solved
+	// (|measured/modeled − 1| > tol). Negative disables replanning.
+	// Default 0.25.
+	ReplanTolerance float64
+	// Cache supplies a shared materialization cache; nil builds a private
+	// one. Sharing with other evaluators over the same fact relation lets
+	// identical physical structures be built once.
+	Cache *designer.ObjectCache
+}
+
+func (c *Config) fill() {
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = 16
+	}
+	if c.ReplanTolerance == 0 {
+		c.ReplanTolerance = 0.25
+	}
+}
+
+// EventKind classifies trace events.
+type EventKind int
+
+const (
+	// EventRedesign is a drift-triggered redesign (including no-change
+	// outcomes, see the detail).
+	EventRedesign EventKind = iota
+	// EventBuild is one completed migration build.
+	EventBuild
+	// EventReplan is a mid-migration re-solve of the remaining schedule.
+	EventReplan
+	// EventMigrationDone marks a fully deployed target design.
+	EventMigrationDone
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventRedesign:
+		return "redesign"
+	case EventBuild:
+		return "build"
+	case EventReplan:
+		return "replan"
+	case EventMigrationDone:
+		return "migrated"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one trace entry.
+type Event struct {
+	Kind EventKind
+	// Clock is the simulated time of the event; Observed the observation
+	// count when it fired.
+	Clock    float64
+	Observed int
+	// Detail is a human-readable summary.
+	Detail string
+}
+
+// RedesignInfo records one drift-triggered redesign for telemetry and for
+// the warm-vs-cold solver comparison of the adapt ablation.
+type RedesignInfo struct {
+	// Clock is when the redesign ran; Drift the report that triggered it.
+	Clock float64
+	Drift workload.DriftReport
+	// Snapshot is the decayed template workload the redesign solved for.
+	Snapshot query.Workload
+	// Solve is the final (warm-started) selection instance and solution.
+	Solve *feedback.Result
+	// Design is the redesigned target; Nodes its total solver nodes.
+	Design *designer.Design
+	Nodes  int
+	// Changed reports whether the redesign differed from the incumbent
+	// (an unchanged redesign only rebases the drift baseline).
+	Changed bool
+}
+
+// Report is the controller's cumulative telemetry.
+type Report struct {
+	// Observed is the number of processed queries; Clock the simulated
+	// time; Cum the cumulative workload-seconds (identical to Clock
+	// advanced by query execution, the adaptive analogue of deploy's
+	// Σ build·rate objective).
+	Observed int
+	Clock    float64
+	Cum      float64
+	// Events is the trace; Redesigns/Replans/BuildsDone the counters.
+	Events     []Event
+	Redesigns  int
+	Replans    int
+	BuildsDone int
+	// RedesignLog records every redesign, in order.
+	RedesignLog []*RedesignInfo
+}
+
+// migration is an in-flight deployment.
+type migration struct {
+	plan *designer.MigrationPlan
+	// order is the remaining build order (indexes into plan.Builds);
+	// builds/rates its per-step modeled build seconds and workload rates,
+	// aligned with order; wTotal the total query weight of the workload
+	// those rates were computed over (for scale-free comparison against
+	// measured rates).
+	order  []int
+	builds []float64
+	rates  []float64
+	wTotal float64
+	// done are the deployed builds; nextDone the simulated completion
+	// time of order[0].
+	done     []int
+	nextDone float64
+}
+
+// Controller drives the adaptive loop over a stream of executed queries.
+// Not safe for concurrent use: the stream is a single timeline.
+type Controller struct {
+	cfg    Config
+	common designer.Common // W is replaced by each snapshot
+	model  *costmodel.Aware
+	cache  *designer.ObjectCache
+
+	// Mon is the workload monitor, exported for inspection; its clock is
+	// the controller's simulated clock.
+	Mon *workload.Monitor
+
+	clock     float64
+	incumbent *designer.Design // current target design
+	deployed  *designer.Design // what physically serves right now
+	mig       *migration
+	rates     map[string]float64 // template key → measured seconds on deployed
+	lbCache   map[string]float64 // template key → lower-bound estimate
+
+	sinceCheck   int
+	lastRedesign float64
+	report       Report
+}
+
+// New builds a controller over the designer inputs in common (W is
+// ignored; the monitor supplies each redesign's workload) with initial as
+// the already-deployed design. The monitor starts rebased on the initial
+// design, so drift is measured against it.
+func New(common designer.Common, initial *designer.Design, cfg Config) (*Controller, error) {
+	if initial == nil {
+		return nil, fmt.Errorf("adapt: an initial deployed design is required")
+	}
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("adapt: a positive space budget is required")
+	}
+	cfg.fill()
+	c := &Controller{
+		cfg:       cfg,
+		common:    common,
+		model:     costmodel.NewAware(common.St, common.Disk),
+		cache:     cfg.Cache,
+		incumbent: initial,
+		deployed:  initial,
+		rates:     make(map[string]float64),
+		lbCache:   make(map[string]float64),
+	}
+	if c.cache == nil {
+		c.cache = designer.NewObjectCache()
+	}
+	c.Mon = workload.New(cfg.Monitor, func() float64 { return c.clock })
+	c.Mon.Rebase(c.costOf(initial))
+	if len(common.W) > 0 {
+		// Drift is measured against the mix the initial design was solved
+		// for, not against an empty table (which any first observation
+		// would "drift" from).
+		c.Mon.PrimeBaseline(common.W)
+	}
+	return c, nil
+}
+
+// Clock returns the simulated time in seconds.
+func (c *Controller) Clock() float64 { return c.clock }
+
+// Incumbent returns the current target design (the deployed design, or
+// the migration target while builds are in flight).
+func (c *Controller) Incumbent() *designer.Design { return c.incumbent }
+
+// Deployed returns the design physically serving queries right now.
+func (c *Controller) Deployed() *designer.Design { return c.deployed }
+
+// Migrating reports whether a migration is in flight.
+func (c *Controller) Migrating() bool { return c.mig != nil }
+
+// Report returns a snapshot of the telemetry.
+func (c *Controller) Report() Report {
+	r := c.report
+	r.Clock = c.clock
+	r.Events = append([]Event(nil), c.report.Events...)
+	r.RedesignLog = append([]*RedesignInfo(nil), c.report.RedesignLog...)
+	return r
+}
+
+// event appends a trace entry.
+func (c *Controller) event(kind EventKind, format string, args ...any) {
+	c.report.Events = append(c.report.Events, Event{
+		Kind: kind, Clock: c.clock, Observed: c.report.Observed,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Process executes one query of the stream on the simulated substrate:
+// the monitor observes it, the query is charged its measured seconds on
+// the currently deployed state, the simulated clock advances by the same
+// amount, in-flight builds that completed during the execution are
+// deployed (possibly replanning the remainder), and the drift check runs
+// on its cadence. Returns the query's measured seconds.
+func (c *Controller) Process(q *query.Query) (float64, error) {
+	c.Mon.Observe(q)
+	sec, err := c.rateFor(q)
+	if err != nil {
+		return 0, err
+	}
+	c.clock += sec
+	c.report.Cum += sec
+	c.report.Observed++
+	c.sinceCheck++
+	if err := c.advanceMigration(); err != nil {
+		return 0, err
+	}
+	if c.mig == nil && c.sinceCheck >= c.cfg.CheckEvery {
+		c.sinceCheck = 0
+		if rep := c.Mon.Drift(); rep.Drifted && c.clock-c.lastRedesign >= c.cfg.MinGap {
+			if err := c.redesign(rep); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return sec, nil
+}
+
+// Run processes a whole stream and returns the final report.
+func (c *Controller) Run(stream []*query.Query) (Report, error) {
+	for _, q := range stream {
+		if _, err := c.Process(q); err != nil {
+			return c.Report(), err
+		}
+	}
+	return c.Report(), nil
+}
+
+// rateFor returns the measured seconds of q's template on the deployed
+// state, measuring lazily on first sight per (state, template).
+func (c *Controller) rateFor(q *query.Query) (float64, error) {
+	key := c.Mon.KeyOf(q)
+	if sec, ok := c.rates[key]; ok {
+		return sec, nil
+	}
+	sec, err := MeasureTemplate(c.common.St, c.common.Disk, c.cache, c.model, c.deployed, q)
+	if err != nil {
+		return 0, err
+	}
+	c.rates[key] = sec
+	return sec, nil
+}
+
+// measuredRate sums weight·measured-seconds over the snapshot, measuring
+// any template not yet priced on the deployed state — the MigrationPrefix
+// evaluation driving the replan decision. Returns the rate and the total
+// weight.
+func (c *Controller) measuredRate(w query.Workload) (float64, float64, error) {
+	rate, wTotal := 0.0, 0.0
+	for _, q := range w {
+		sec, err := c.rateFor(q)
+		if err != nil {
+			return 0, 0, err
+		}
+		wt := q.EffectiveWeight()
+		rate += wt * sec
+		wTotal += wt
+	}
+	return rate, wTotal, nil
+}
+
+// advanceMigration deploys every build whose completion time the clock
+// has passed, re-measuring the new prefix after each and replanning the
+// remaining schedule when the measured rate diverges from the modeled one.
+func (c *Controller) advanceMigration() error {
+	for c.mig != nil && c.clock >= c.mig.nextDone {
+		m := c.mig
+		bi := m.order[0]
+		finished := m.nextDone
+		m.done = append(m.done, bi)
+		m.order = m.order[1:]
+		m.builds = m.builds[1:]
+		m.rates = m.rates[1:]
+		c.report.BuildsDone++
+
+		// The new prefix serves from here; every template re-prices.
+		w := c.Mon.Snapshot()
+		c.deployed = m.plan.PrefixDesign(c.model, w, m.done)
+		c.rates = make(map[string]float64)
+		c.event(EventBuild, "built %s (%d/%d)", m.plan.Builds[bi].Name,
+			len(m.done), len(m.done)+len(m.order))
+
+		if len(m.order) == 0 {
+			c.mig = nil
+			c.event(EventMigrationDone, "migration to %s complete", c.incumbent.Name)
+			return nil
+		}
+
+		// Replan check: scale-free comparison of the measured per-weight
+		// rate of the deployed prefix against the per-weight rate the
+		// schedule assumed for the next step.
+		if c.cfg.ReplanTolerance < 0 || len(w) == 0 {
+			m.nextDone = finished + m.builds[0]
+			continue
+		}
+		meas, wTot, err := c.measuredRate(w)
+		if err != nil {
+			return err
+		}
+		modeled := m.rates[0] / m.wTotal
+		measured := meas / wTot
+		diverged := modeled > 0 && abs(measured/modeled-1) > c.cfg.ReplanTolerance
+		if diverged {
+			if err := c.replan(w, finished); err != nil {
+				return err
+			}
+			continue
+		}
+		m.nextDone = finished + m.builds[0]
+	}
+	return nil
+}
+
+// replan re-solves the remaining scheduling problem under the current
+// snapshot: modeled per-query times for the remaining builds, the current
+// deployed prefix as the base state, and build costs that may shortcut
+// through kept objects, already-deployed builds, or other remaining
+// builds. The solved order replaces the remainder of the schedule.
+func (c *Controller) replan(w query.Workload, now float64) error {
+	m := c.mig
+	st, disk := c.common.St, c.common.Disk
+	nQ := len(w)
+
+	base := make([]float64, nQ)
+	weights := make([]float64, nQ)
+	wTotal := 0.0
+	avail := append([]*costmodel.MVDesign(nil), m.plan.Kept...)
+	for _, bi := range m.done {
+		avail = append(avail, m.plan.Builds[bi])
+	}
+	for qi, q := range w {
+		t, _ := c.model.Estimate(c.incumbent.Base, q)
+		for _, md := range avail {
+			if tk, _ := c.model.Estimate(md, q); tk < t {
+				t = tk
+			}
+		}
+		base[qi] = t
+		weights[qi] = q.EffectiveWeight()
+		wTotal += weights[qi]
+	}
+
+	prob := &deploy.Problem{Base: base, Weights: weights}
+	for _, oi := range m.order {
+		md := m.plan.Builds[oi]
+		times := make([]float64, nQ)
+		for qi, q := range w {
+			times[qi], _ = c.model.Estimate(md, q)
+		}
+		build := costmodel.BuildSeconds(st, disk, md, nil)
+		for _, src := range avail {
+			if costmodel.CanBuildFrom(md, src) {
+				if b := costmodel.BuildSeconds(st, disk, md, src); b < build {
+					build = b
+				}
+			}
+		}
+		o := deploy.Object{Name: md.Name, Times: times, Build: build}
+		for j, oj := range m.order {
+			if oj == oi || !costmodel.CanBuildFrom(md, m.plan.Builds[oj]) {
+				continue
+			}
+			if b := costmodel.BuildSeconds(st, disk, md, m.plan.Builds[oj]); b < build {
+				o.From = append(o.From, deploy.Shortcut{Src: j, Cost: b})
+			}
+		}
+		prob.Objects = append(prob.Objects, o)
+	}
+
+	sched, err := deploy.Solve(prob, c.cfg.Deploy)
+	if err != nil {
+		return err
+	}
+	order := make([]int, len(sched.Order))
+	for k, ri := range sched.Order {
+		order[k] = m.order[ri]
+	}
+	m.order = order
+	m.builds = append([]float64(nil), sched.Builds...)
+	m.rates = append([]float64(nil), sched.Rates...)
+	m.wTotal = wTotal
+	m.nextDone = now + m.builds[0]
+	c.report.Replans++
+	c.event(EventReplan, "replanned %d remaining builds (nodes %d, next %s)",
+		len(order), sched.Nodes, m.plan.Builds[order[0]].Name)
+	return nil
+}
+
+// redesign runs the drift-triggered incremental redesign and, when the
+// target differs from the incumbent, plans and starts the migration.
+func (c *Controller) redesign(drift workload.DriftReport) error {
+	w := c.Mon.Snapshot()
+	if len(w) == 0 {
+		return nil
+	}
+	common := c.common
+	common.W = w
+	des := designer.NewCORADD(common, c.cfg.Cand, c.cfg.FB)
+	d2, err := des.DesignFrom(c.cfg.Budget, c.incumbent)
+	if err != nil {
+		return err
+	}
+	info := &RedesignInfo{
+		Clock: c.clock, Drift: drift, Snapshot: w,
+		Solve: des.LastSolve, Design: d2, Nodes: d2.SolverNodes,
+	}
+	c.report.Redesigns++
+	c.report.RedesignLog = append(c.report.RedesignLog, info)
+	c.lastRedesign = c.clock
+
+	if sameObjects(c.incumbent, d2) {
+		// The recent mix still wants the incumbent: re-anchor drift
+		// detection so the same signal does not re-trigger immediately.
+		c.Mon.Rebase(c.costOf(c.incumbent))
+		c.event(EventRedesign, "drift (%s) but redesign matches incumbent", drift)
+		return nil
+	}
+	info.Changed = true
+
+	plan, err := designer.PlanMigration(c.common.St, c.common.Disk, w, des.Model,
+		c.incumbent, d2, c.cfg.Deploy)
+	if err != nil {
+		return err
+	}
+	c.incumbent = d2
+	c.Mon.Rebase(c.costOf(d2))
+	c.event(EventRedesign, "drift (%s) → redesign: %d kept, %d dropped, %d builds, %d solver nodes",
+		drift, len(plan.Kept), len(plan.Dropped), len(plan.Builds), d2.SolverNodes)
+
+	// Drops are instantaneous and happen up front: the workload runs on
+	// the kept prefix from now.
+	c.deployed = plan.PrefixDesign(c.model, w, nil)
+	c.rates = make(map[string]float64)
+	if len(plan.Builds) == 0 {
+		c.event(EventMigrationDone, "migration to %s complete (drops only)", d2.Name)
+		return nil
+	}
+	sched := plan.Schedule
+	c.mig = &migration{
+		plan:     plan,
+		order:    append([]int(nil), sched.Order...),
+		builds:   append([]float64(nil), sched.Builds...),
+		rates:    append([]float64(nil), sched.Rates...),
+		wTotal:   totalWeight(w),
+		nextDone: c.clock + sched.Builds[0],
+	}
+	return nil
+}
+
+// costOf builds the monitor's cost function for incumbent design d: cur
+// is the model's routed estimate on d, lb the memoized dedicated-MV lower
+// bound (clipped to cur so the ratio is ≥ 1 per template).
+func (c *Controller) costOf(d *designer.Design) workload.CostFn {
+	return func(q *query.Query) (cur, lb float64) {
+		cur, _ = c.model.Estimate(d.Base, q)
+		for _, md := range d.Chosen {
+			if t, _ := c.model.Estimate(md, q); t < cur {
+				cur = t
+			}
+		}
+		key := workload.Fingerprint(q)
+		lb, ok := c.lbCache[key]
+		if !ok {
+			lb = cur
+			if md := dedicatedMV(c.common.St, q); md != nil {
+				if t, _ := c.model.Estimate(md, q); t < lb {
+					lb = t
+				}
+			}
+			c.lbCache[key] = lb
+		}
+		if lb > cur {
+			lb = cur
+		}
+		return cur, lb
+	}
+}
+
+// dedicatedMV is the lower-bound object for one query: exactly its
+// columns, clustered on its dedicated key (candgen.DedicatedKey — the
+// §4.2 ordering: equality → range → IN, ascending propagated
+// selectivity within a class).
+func dedicatedMV(st *stats.Stats, q *query.Query) *costmodel.MVDesign {
+	sch := st.Rel.Schema
+	var cols []int
+	for _, name := range q.AllColumns() {
+		if p := sch.Col(name); p >= 0 {
+			cols = append(cols, p)
+		}
+	}
+	if len(cols) == 0 {
+		return nil
+	}
+	sort.Ints(cols)
+	key := candgen.DedicatedKey(st, q)
+	if len(key) == 0 {
+		key = cols[:1]
+	}
+	return &costmodel.MVDesign{Name: "lb(" + q.Name + ")", Cols: cols, ClusterKey: key}
+}
+
+// MeasureTemplate prices one query on a deployed design through the real
+// simulated substrate: the design is rerouted for the single-query
+// workload and measured through an evaluator sharing the given cache —
+// the one measurement procedure the controller (and the adapt ablation's
+// static baselines) charge stream events with, so every run prices a
+// (state, template) pair identically.
+func MeasureTemplate(st *stats.Stats, disk storage.DiskParams, cache *designer.ObjectCache,
+	model costmodel.Model, d *designer.Design, q *query.Query) (float64, error) {
+
+	w1 := query.Workload{q}
+	rd := designer.Reroute(d, model, w1)
+	ev := designer.NewEvaluator(st.Rel, w1, disk)
+	ev.Cache = cache
+	res, err := ev.Measure(rd)
+	if err != nil {
+		return 0, err
+	}
+	return res.PerQuery[0], nil
+}
+
+// sameObjects reports whether two designs deploy the same object set.
+func sameObjects(a, b *designer.Design) bool {
+	if len(a.Chosen) != len(b.Chosen) {
+		return false
+	}
+	keys := make(map[string]int, len(a.Chosen))
+	for _, md := range a.Chosen {
+		keys[md.Key()]++
+	}
+	for _, md := range b.Chosen {
+		if keys[md.Key()] == 0 {
+			return false
+		}
+		keys[md.Key()]--
+	}
+	return true
+}
+
+func totalWeight(w query.Workload) float64 {
+	t := 0.0
+	for _, q := range w {
+		t += q.EffectiveWeight()
+	}
+	return t
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -6,6 +6,7 @@ import (
 	"coradd/internal/costmodel"
 	"coradd/internal/par"
 	"coradd/internal/query"
+	"coradd/internal/stats"
 )
 
 // DesignClusterings returns up to t clustered-key designs for the group,
@@ -60,7 +61,14 @@ func (g *Generator) clusterRec(group []int, cols []int, t int) [][]int {
 // and within a type by ascending propagated selectivity — the ordering
 // least likely to fragment the access pattern.
 func (g *Generator) DedicatedKey(q *query.Query) []int {
-	v := g.St.PropagatedVector(q)
+	return DedicatedKey(g.St, q)
+}
+
+// DedicatedKey is the standalone form: it needs only the statistics.
+// The adaptive monitor's dedicated-MV lower bound shares it so the
+// ordering rule lives in exactly one place.
+func DedicatedKey(st *stats.Stats, q *query.Query) []int {
+	v := st.PropagatedVector(q)
 	type attr struct {
 		col    int
 		opRank int
@@ -69,7 +77,7 @@ func (g *Generator) DedicatedKey(q *query.Query) []int {
 	var attrs []attr
 	for i := range q.Predicates {
 		p := &q.Predicates[i]
-		c := g.St.Rel.Schema.Col(p.Col)
+		c := st.Rel.Schema.Col(p.Col)
 		if c < 0 {
 			continue
 		}

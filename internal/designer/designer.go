@@ -126,10 +126,19 @@ func routedDesign(name string, style Style, c *Common, model costmodel.Model,
 	for _, ci := range sol.Chosen {
 		d.Chosen = append(d.Chosen, designs[ci])
 	}
-	d.Routing = make([]int, len(c.W))
-	d.Expected = make([]float64, len(c.W))
-	d.Paths = make([]costmodel.PathKind, len(c.W))
-	for qi, q := range c.W {
+	routeDesign(d, model, c.W)
+	return d
+}
+
+// routeDesign fills d's Routing/Expected/Paths for workload w: every query
+// on its fastest object under model, falling back to the base design —
+// the one routing rule shared by fresh designs, migration prefixes and
+// workload-snapshot rerouting.
+func routeDesign(d *Design, model costmodel.Model, w query.Workload) {
+	d.Routing = make([]int, len(w))
+	d.Expected = make([]float64, len(w))
+	d.Paths = make([]costmodel.PathKind, len(w))
+	for qi, q := range w {
 		best, kind := model.Estimate(d.Base, q)
 		route := -1
 		for i, md := range d.Chosen {
@@ -141,7 +150,21 @@ func routedDesign(name string, style Style, c *Common, model costmodel.Model,
 		d.Expected[qi] = best
 		d.Paths[qi] = kind
 	}
-	return d
+}
+
+// Reroute returns a copy of d routed for workload w under model: the same
+// physical objects with Routing/Expected/Paths recomputed. The adaptive
+// controller uses it to measure one deployed design against an evolving
+// template workload (an Evaluator's W must align with the design's
+// Routing).
+func Reroute(d *Design, model costmodel.Model, w query.Workload) *Design {
+	// Struct copy so future Design fields survive; the slices routing
+	// writes are reallocated (Chosen here, Routing/Expected/Paths by
+	// routeDesign), leaving the original untouched.
+	nd := *d
+	nd.Chosen = append([]*costmodel.MVDesign(nil), d.Chosen...)
+	routeDesign(&nd, model, w)
+	return &nd
 }
 
 // CORADD is the paper's designer.
@@ -152,6 +175,10 @@ type CORADD struct {
 	// Feedback configures the ILP feedback loop; Feedback.MaxIters == -1
 	// disables feedback (plain ILP, used for the Figure 7 comparison).
 	Feedback feedback.Config
+	// LastSolve is the final feedback result of the most recent Design /
+	// DesignFrom call — the selection instance and solution the adaptive
+	// ablation replays to compare warm against cold node counts.
+	LastSolve *feedback.Result
 
 	initial []*costmodel.MVDesign
 	base    []float64
@@ -163,7 +190,7 @@ func NewCORADD(c Common, cfg candgen.Config, fb feedback.Config) *CORADD {
 	model := costmodel.NewAware(c.St, c.Disk)
 	gen := candgen.New(c.St, model, c.W, cfg)
 	gen.PKCols = c.PKCols
-	if fb.Solve == (ilp.SolveOptions{}) {
+	if fb.Solve.IsZero() {
 		fb.Solve = c.Solve
 	}
 	d := &CORADD{Common: c, Model: model, Gen: gen, Feedback: fb}
@@ -189,17 +216,36 @@ func (d *CORADD) BaseTimes() []float64 { return d.base }
 
 // Design implements Designer.
 func (d *CORADD) Design(budget int64) (*Design, error) {
+	return d.designWith(budget, d.Feedback)
+}
+
+// DesignFrom is the incremental redesign entry point: it runs the same
+// pipeline as Design but warm-starts every exact solve from the incumbent
+// design's objects (matched into each candidate pool by structural key),
+// so regions of the search the incumbent already covers are pruned
+// immediately — the solver explores at most the nodes of a cold solve and
+// proves the same optimum. incumbent == nil is a plain Design.
+func (d *CORADD) DesignFrom(budget int64, incumbent *Design) (*Design, error) {
+	fb := d.Feedback
+	if incumbent != nil {
+		fb.Warm = incumbent.Chosen
+	}
+	return d.designWith(budget, fb)
+}
+
+func (d *CORADD) designWith(budget int64, fb feedback.Config) (*Design, error) {
 	if len(d.W) == 0 {
 		return nil, fmt.Errorf("designer: empty workload")
 	}
 	var res *feedback.Result
-	if d.Feedback.MaxIters == -1 {
+	if fb.MaxIters == -1 {
 		prob, aligned := feedback.BuildProblem(d.Gen, d.initial, d.base, budget)
-		sol := ilp.Solve(prob, d.Feedback.Solve)
+		sol := ilp.Solve(prob, feedback.SolveOpts(fb.Solve, aligned, fb.Warm))
 		res = &feedback.Result{Sol: sol, Prob: prob, Designs: aligned, Nodes: sol.Nodes, Proven: sol.Proven}
 	} else {
-		res = feedback.Run(d.Gen, d.initial, d.base, budget, d.Feedback)
+		res = feedback.Run(d.Gen, d.initial, d.base, budget, fb)
 	}
+	d.LastSolve = res
 	design := routedDesign(d.Name(), StyleCORADD, &d.Common, d.Model, budget, res.Designs, res.Sol)
 	// Aggregate telemetry: nodes summed and proven ANDed across every
 	// solve the feedback loop ran.

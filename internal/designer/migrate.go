@@ -217,21 +217,7 @@ func (mp *MigrationPlan) PrefixDesign(model costmodel.Model, w query.Workload, d
 	for _, bi := range deployed {
 		d.Chosen = append(d.Chosen, mp.Builds[bi])
 	}
-	d.Routing = make([]int, len(w))
-	d.Expected = make([]float64, len(w))
-	d.Paths = make([]costmodel.PathKind, len(w))
-	for qi, q := range w {
-		best, kind := model.Estimate(d.Base, q)
-		route := -1
-		for i, md := range d.Chosen {
-			if t, k := model.Estimate(md, q); t < best {
-				best, kind, route = t, k, i
-			}
-		}
-		d.Routing[qi] = route
-		d.Expected[qi] = best
-		d.Paths[qi] = kind
-	}
+	routeDesign(d, model, w)
 	for _, md := range d.Chosen {
 		d.Size += md.Bytes(mp.st)
 	}

@@ -2,6 +2,7 @@ package designer
 
 import (
 	"container/list"
+	"fmt"
 	"os"
 	"strconv"
 	"strings"
@@ -18,8 +19,9 @@ import (
 // relations and dense B+Trees dominate the footprint; a long budget sweep
 // at large scale factors would otherwise retain every distinct MV
 // projection it ever materialized. Override per cache with SetMaxBytes or
-// globally with the CORADD_CACHE_BYTES environment variable (bytes; ≤ 0
-// means unlimited).
+// globally with the CORADD_CACHE_BYTES environment variable (a
+// non-negative integer byte count; 0 means unlimited; anything else is
+// rejected at cache construction — see ParseCacheBytes).
 const DefaultCacheBytes = 1 << 30
 
 // cacheBytesEnv names the environment override for the capacity.
@@ -80,14 +82,33 @@ type cacheEntry struct {
 	pins  int
 }
 
+// ParseCacheBytes validates a CORADD_CACHE_BYTES value: a base-10
+// non-negative integer byte count, where 0 means unlimited. Negative
+// values and garbage are errors — an operator typo must fail loudly, not
+// silently run with a default capacity that masks the intent.
+func ParseCacheBytes(v string) (int64, error) {
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s=%q: not a base-10 integer byte count: %v", cacheBytesEnv, v, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("%s=%q: capacity must be non-negative (0 = unlimited)", cacheBytesEnv, v)
+	}
+	return n, nil
+}
+
 // NewObjectCache returns an empty cache with the default (or
-// environment-overridden) capacity.
+// environment-overridden) capacity. An invalid CORADD_CACHE_BYTES value
+// panics with the ParseCacheBytes error: every run would otherwise
+// silently ignore the operator's capacity request.
 func NewObjectCache() *ObjectCache {
 	max := int64(DefaultCacheBytes)
 	if v := os.Getenv(cacheBytesEnv); v != "" {
-		if parsed, err := strconv.ParseInt(v, 10, 64); err == nil {
-			max = parsed
+		parsed, err := ParseCacheBytes(v)
+		if err != nil {
+			panic("designer: " + err.Error())
 		}
+		max = parsed
 	}
 	return &ObjectCache{
 		max:     max,

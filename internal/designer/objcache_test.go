@@ -331,3 +331,58 @@ func TestCacheFlushBetweenPhases(t *testing.T) {
 		}
 	}
 }
+
+// TestParseCacheBytes pins the CORADD_CACHE_BYTES validation: explicit
+// byte counts and the 0-unlimited form parse; negatives and garbage are
+// rejected with a clear error instead of a silent fallback.
+func TestParseCacheBytes(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"1", 1, true},
+		{"1073741824", 1 << 30, true},
+		{"-1", 0, false},
+		{"-1073741824", 0, false},
+		{"", 0, false},
+		{"1GB", 0, false},
+		{"lots", 0, false},
+		{"1.5", 0, false},
+		{"99999999999999999999999999", 0, false},
+	} {
+		got, err := ParseCacheBytes(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseCacheBytes(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseCacheBytes(%q) accepted, want error", tc.in)
+		}
+	}
+}
+
+// TestNewObjectCacheRejectsBadEnv: a malformed capacity override must
+// fail loudly at construction, and a valid one must be honored.
+func TestNewObjectCacheRejectsBadEnv(t *testing.T) {
+	t.Setenv("CORADD_CACHE_BYTES", "4096")
+	c := NewObjectCache()
+	c.mu.Lock()
+	max := c.max
+	c.mu.Unlock()
+	if max != 4096 {
+		t.Fatalf("valid override ignored: max = %d, want 4096", max)
+	}
+
+	for _, bad := range []string{"-1", "zilch", "2MB"} {
+		t.Setenv("CORADD_CACHE_BYTES", bad)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CORADD_CACHE_BYTES=%q: NewObjectCache did not panic", bad)
+				}
+			}()
+			NewObjectCache()
+		}()
+	}
+}

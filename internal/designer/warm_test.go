@@ -1,0 +1,99 @@
+package designer
+
+import (
+	"math"
+	"testing"
+
+	"coradd/internal/feedback"
+	"coradd/internal/query"
+	"coradd/internal/ssb"
+)
+
+// TestDesignFromMatchesColdAndPrunes: warm-starting a redesign from an
+// incumbent reaches the same objective as a cold Design on the evolved
+// workload, and the solver explores no more nodes — the adaptive loop's
+// incremental-redesign contract, at the designer level.
+func TestDesignFromMatchesColdAndPrunes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rel, _, c := smallSSB(t, 40000)
+	budget := rel.HeapBytes() * 2
+
+	// Incumbent: designed for the base 13-query workload.
+	inc := NewCORADD(c, smallCandCfg(), feedback.Config{MaxIters: 1})
+	d1, err := inc.Design(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The workload evolves; redesign warm vs cold on the same inputs.
+	c2 := c
+	c2.W = ssb.AugmentedQueries()[:26]
+	cold := NewCORADD(c2, smallCandCfg(), feedback.Config{MaxIters: 1})
+	dCold, err := cold.Design(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewCORADD(c2, smallCandCfg(), feedback.Config{MaxIters: 1})
+	dWarm, err := warm.DesignFrom(budget, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if math.Abs(dWarm.TotalExpected(c2.W)-dCold.TotalExpected(c2.W)) > 1e-9 {
+		t.Errorf("warm redesign objective %.6f != cold %.6f",
+			dWarm.TotalExpected(c2.W), dCold.TotalExpected(c2.W))
+	}
+	if dWarm.SolverNodes > dCold.SolverNodes {
+		t.Errorf("warm redesign explored %d nodes > cold %d", dWarm.SolverNodes, dCold.SolverNodes)
+	}
+	if dWarm.SolverProven != dCold.SolverProven {
+		t.Errorf("proven mismatch: warm %v cold %v", dWarm.SolverProven, dCold.SolverProven)
+	}
+	if warm.LastSolve == nil || cold.LastSolve == nil {
+		t.Fatal("LastSolve telemetry missing")
+	}
+
+	// DesignFrom(nil) is a plain Design.
+	plain, err := cold.DesignFrom(budget, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalExpected(c2.W) != dCold.TotalExpected(c2.W) || plain.SolverNodes != dCold.SolverNodes {
+		t.Error("DesignFrom(nil) diverged from Design")
+	}
+}
+
+// TestRerouteMatchesFreshRouting: rerouting a design for another workload
+// reproduces exactly what routing it fresh for that workload yields, and
+// leaves the original untouched.
+func TestRerouteMatchesFreshRouting(t *testing.T) {
+	rel, _, c := smallSSB(t, 20000)
+	des := NewCORADD(c, smallCandCfg(), feedback.Config{MaxIters: -1})
+	d, err := des.Design(rel.HeapBytes() * 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := query.Workload{c.W[3], c.W[0], c.W[7]}
+	rd := Reroute(d, des.Model, w2)
+	if len(rd.Routing) != len(w2) || len(rd.Expected) != len(w2) {
+		t.Fatalf("rerouted lengths %d/%d, want %d", len(rd.Routing), len(rd.Expected), len(w2))
+	}
+	for qi, q := range w2 {
+		best, kind := des.Model.Estimate(d.Base, q)
+		route := -1
+		for i, md := range d.Chosen {
+			if tt, k := des.Model.Estimate(md, q); tt < best {
+				best, kind, route = tt, k, i
+			}
+		}
+		if rd.Routing[qi] != route || rd.Expected[qi] != best || rd.Paths[qi] != kind {
+			t.Errorf("query %s: reroute (%d,%v,%v) != fresh (%d,%v,%v)",
+				q.Name, rd.Routing[qi], rd.Expected[qi], rd.Paths[qi], route, best, kind)
+		}
+	}
+	if len(d.Routing) != len(c.W) {
+		t.Error("Reroute mutated the original design")
+	}
+}

@@ -31,6 +31,15 @@ type Config struct {
 	TGrowth int
 	// Solve tunes the inner exact solver.
 	Solve ilp.SolveOptions
+	// Warm seeds every solve with a known-good design (the adaptive
+	// loop's incumbent): its objects are matched into each iteration's
+	// candidate pool by structural key and handed to the solver as
+	// ilp.SolveOptions.WarmStart, and after each solve the chain continues
+	// from that iteration's solution (the pool only grows, so the previous
+	// solution stays feasible). Empty means cold solves — the recorded
+	// experiment tables depend on cold node counts, so nothing changes
+	// unless a caller opts in.
+	Warm []*costmodel.MVDesign
 }
 
 // Result is the outcome of Run.
@@ -116,8 +125,9 @@ func Run(g *candgen.Generator, designs []*costmodel.MVDesign, base []float64, bu
 	// feedback escalates rather than repeats.
 	groupT := make(map[string]int)
 
+	warm := cfg.Warm
 	prob, aligned := BuildProblem(g, pool, base, budget)
-	sol := ilp.Solve(prob, cfg.Solve)
+	sol := ilp.Solve(prob, SolveOpts(cfg.Solve, aligned, warm))
 	res := &Result{Sol: sol, Prob: prob, Designs: aligned, Nodes: sol.Nodes, Proven: sol.Proven}
 
 	for iter := 1; iter <= maxIters; iter++ {
@@ -135,13 +145,55 @@ func Run(g *candgen.Generator, designs []*costmodel.MVDesign, base []float64, bu
 		}
 		res.Added += added
 		res.Iters = iter
+		if len(warm) > 0 {
+			warm = chosenDesigns(res) // chain: last solution warms the next
+		}
 		prob, aligned = BuildProblem(g, pool, base, budget)
-		sol = ilp.Solve(prob, cfg.Solve)
+		sol = ilp.Solve(prob, SolveOpts(cfg.Solve, aligned, warm))
 		res.Sol, res.Prob, res.Designs = sol, prob, aligned
 		res.Nodes += sol.Nodes
 		res.Proven = res.Proven && sol.Proven
 	}
 	return res
+}
+
+// SolveOpts attaches the warm-start indexes for one solve: warm designs
+// matched into the aligned candidate pool by structural key, in warm
+// order. A nil/unmatched warm set leaves the options untouched (cold).
+func SolveOpts(opts ilp.SolveOptions, aligned []*costmodel.MVDesign, warm []*costmodel.MVDesign) ilp.SolveOptions {
+	if len(warm) == 0 {
+		return opts
+	}
+	opts.WarmStart = WarmIndexes(aligned, warm)
+	return opts
+}
+
+// WarmIndexes maps warm designs to their candidate indexes in the aligned
+// pool by MVDesign.Key, preserving warm order; unmatched designs (pruned
+// by dominance, or structures the new pool never generated) are skipped.
+func WarmIndexes(aligned []*costmodel.MVDesign, warm []*costmodel.MVDesign) []int {
+	byKey := make(map[string]int, len(aligned))
+	for i, d := range aligned {
+		if _, ok := byKey[d.Key()]; !ok {
+			byKey[d.Key()] = i
+		}
+	}
+	var out []int
+	for _, d := range warm {
+		if i, ok := byKey[d.Key()]; ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// chosenDesigns lists the designs of the result's chosen candidates.
+func chosenDesigns(res *Result) []*costmodel.MVDesign {
+	out := make([]*costmodel.MVDesign, len(res.Sol.Chosen))
+	for i, ci := range res.Sol.Chosen {
+		out[i] = res.Designs[ci]
+	}
+	return out
 }
 
 // newCandidates derives feedback candidates from the current solution.

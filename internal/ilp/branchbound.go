@@ -41,12 +41,29 @@ type SolveOptions struct {
 	// fixed (problem, Workers) pair results are bit-identical run to run,
 	// and Chosen/Objective match sequential mode.
 	Workers int
+	// WarmStart seeds the search with a known-good solution: indexes into
+	// Problem.Cands (an incumbent design's objects matched into this
+	// problem, the adaptive-redesign entry point). The subset is clipped
+	// to feasibility, mapped through preprocessing, optionally polished,
+	// and adopted as the initial incumbent when it beats the greedy one —
+	// so a warm solve starts with a bound at least as tight as a cold
+	// solve's and explores no more nodes. Infeasible or unknown entries
+	// are skipped; an empty slice is a cold solve.
+	WarmStart []int
 	// NoPreprocess disables the budget-aware reduction pass (dominance.go).
 	NoPreprocess bool
 	// NoLagrangian disables the Lagrangian budget bound (lagrange.go).
 	NoLagrangian bool
 	// NoPolish disables the local-search polish of the greedy incumbent.
 	NoPolish bool
+}
+
+// IsZero reports whether every option is at its default (the pre-warm-
+// start struct equality check against SolveOptions{}, which a slice field
+// no longer permits).
+func (o *SolveOptions) IsZero() bool {
+	return o.MaxNodes == 0 && o.TimeLimit == 0 && o.Workers == 0 &&
+		len(o.WarmStart) == 0 && !o.NoPreprocess && !o.NoLagrangian && !o.NoPolish
 }
 
 // Solve finds the optimal candidate subset by depth-first branch-and-bound.
@@ -89,6 +106,19 @@ func Solve(p *Problem, opts SolveOptions) *Solution {
 	incChosen, incObj := append([]int(nil), inc.Chosen...), inc.Objective
 	if !opts.NoPolish {
 		incChosen, incObj = polish(rp, incChosen, incObj)
+	}
+	// A warm start can only tighten the initial incumbent: the better of
+	// the (polished) greedy solution and the (polished) warm subset seeds
+	// the search, so warm-solve pruning dominates cold-solve pruning.
+	if len(opts.WarmStart) > 0 {
+		if wChosen, wObj, ok := red.warmIncumbent(opts.WarmStart); ok {
+			if !opts.NoPolish {
+				wChosen, wObj = polish(rp, wChosen, wObj)
+			}
+			if wObj < incObj {
+				incChosen, incObj = wChosen, wObj
+			}
+		}
 	}
 
 	s := newSolver(rp, order, maxNodes, deadline)

@@ -248,6 +248,76 @@ func reduce(p *Problem, opts SolveOptions) *reduction {
 	}
 }
 
+// warmIncumbent maps a caller-supplied warm-start set (original candidate
+// indexes) into the reduced problem and clips it to a feasible improving
+// subset, scanned in the given order: entries that were dropped or fixed
+// by preprocessing, exceed the remaining budget, collide on a fact group,
+// repeat, or improve no query over the running times are skipped — the
+// same include gate the search applies. Returns the reduced-space chosen
+// set and its objective (summed in query order, bit-identical to
+// solver.objectiveOf); ok is false when nothing usable remains.
+func (r *reduction) warmIncumbent(warm []int) ([]int, float64, bool) {
+	rp := r.p
+	var redIdx map[int]int
+	if r.active != nil {
+		redIdx = make(map[int]int, len(r.active))
+		for i, m := range r.active {
+			redIdx[m] = i
+		}
+	}
+	nQ := rp.numQueries()
+	times := append([]float64(nil), rp.Base...)
+	var chosen []int
+	var size int64
+	factUsed := map[int]bool{}
+	seen := map[int]bool{}
+	for _, m := range warm {
+		ri := m
+		if redIdx != nil {
+			var ok bool
+			if ri, ok = redIdx[m]; !ok {
+				continue // dropped or fixed by preprocessing
+			}
+		} else if m < 0 || m >= len(rp.Cands) {
+			continue
+		}
+		if seen[ri] {
+			continue
+		}
+		seen[ri] = true
+		c := &rp.Cands[ri]
+		if size+c.Size > rp.Budget {
+			continue
+		}
+		if c.FactGroup > 0 && factUsed[c.FactGroup] {
+			continue
+		}
+		improved := false
+		for q := 0; q < nQ; q++ {
+			if t := c.Times[q]; t < times[q] {
+				times[q] = t
+				improved = true
+			}
+		}
+		if !improved {
+			continue
+		}
+		if c.FactGroup > 0 {
+			factUsed[c.FactGroup] = true
+		}
+		chosen = append(chosen, ri)
+		size += c.Size
+	}
+	if len(chosen) == 0 {
+		return nil, 0, false
+	}
+	obj := 0.0
+	for q := 0; q < nQ; q++ {
+		obj += rp.weight(q) * times[q]
+	}
+	return chosen, obj, true
+}
+
 // lift maps the reduced-space search result back to the original problem:
 // fixed candidates (in the density order they were folded) followed by
 // the search's picks in their discovery order.

@@ -1,0 +1,609 @@
+// Package workload implements the online workload monitor of the adaptive
+// redesign loop (see internal/adapt): the batch designer solves for a
+// *fixed* workload, but a live system's query mix moves, so the monitor
+// watches the stream the deployed design is actually serving and decides
+// when the incumbent design has gone stale.
+//
+// The pieces, in stream order:
+//
+//   - Templating: each observed query is fingerprinted by its structural
+//     shape — fact table, predicated columns with their operator kinds,
+//     target list and aggregate — with literal constants normalized away
+//     (the same normalization workload-driven selection tools such as
+//     Aouiche & Darmont's apply before mining the query log). Repeated
+//     instances of one template dedup onto a single entry; repeated
+//     observations of the *same* *query.Query pointer skip fingerprint
+//     construction entirely through a pointer memo, the same
+//     compile-once idiom as query.CompileCache.
+//   - Frequency: each template carries an exponentially decayed rate with
+//     a configurable half-life, so the snapshot the redesign runs on is
+//     the *recent* mix, not the all-time histogram.
+//   - Bindings: each template keeps a bounded ring of its most recent
+//     literal bindings (the constants templating normalized away), for
+//     diagnostics and selectivity re-estimation.
+//   - Drift: two deterministic signals. The distribution distance is the
+//     total-variation distance between the current template-share vector
+//     and the one captured at the last Rebase (design time). The cost
+//     ratio compares the decayed workload cost under the incumbent design
+//     against an incrementally maintained lower bound (each template is
+//     costed once when first seen and again at each Rebase; the decayed
+//     cost sums then update in O(1) per observation, and both sums decay
+//     by the same factor, so the ratio is exactly what a full
+//     recomputation over the template table yields).
+//
+// Determinism: the monitor never reads wall-clock time — the clock is
+// injected — so one stream replayed against the same clock produces an
+// identical template table, identical snapshots and identical drift
+// decisions, which is what makes the adaptive ablation reproducible.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"coradd/internal/query"
+	"coradd/internal/value"
+)
+
+// Clock supplies the monitor's notion of time, in seconds. Injected so
+// replays are deterministic: the simulated substrate advances it by
+// measured query seconds, tests by hand.
+type Clock func() float64
+
+// Config tunes a Monitor.
+type Config struct {
+	// HalfLife is the rate decay half-life in clock seconds: an
+	// observation's contribution to its template's rate halves every
+	// HalfLife seconds. Default 300.
+	HalfLife float64
+	// Reservoir bounds the per-template ring of recent literal bindings.
+	// Default 8.
+	Reservoir int
+	// DistThreshold triggers drift when the total-variation distance
+	// between the current template distribution and the Rebase baseline
+	// reaches it. Default 0.25.
+	DistThreshold float64
+	// CostRatioThreshold triggers drift when the cost ratio (decayed
+	// workload cost under the incumbent design over the decayed lower
+	// bound) grows by this factor relative to its value at the last
+	// Rebase — the absolute ratio reflects budget tightness, its growth
+	// reflects drift. When no rebase-time ratio exists the raw ratio is
+	// compared instead. Only armed once Rebase has supplied a cost
+	// function. Default 1.5.
+	CostRatioThreshold float64
+	// MinObserved is the number of observations after a Rebase before
+	// drift may trigger, so a redesign is never launched off a handful of
+	// samples. Default 32.
+	MinObserved int
+	// MaxTemplates bounds the template table; when exceeded, the template
+	// with the lowest current rate (oldest first on ties) is evicted.
+	// 0 means unbounded.
+	MaxTemplates int
+}
+
+// DefaultConfig returns the default tuning.
+func DefaultConfig() Config {
+	return Config{
+		HalfLife:           300,
+		Reservoir:          8,
+		DistThreshold:      0.25,
+		CostRatioThreshold: 1.5,
+		MinObserved:        32,
+	}
+}
+
+func (c *Config) fill() {
+	def := DefaultConfig()
+	if c.HalfLife <= 0 {
+		c.HalfLife = def.HalfLife
+	}
+	if c.Reservoir <= 0 {
+		c.Reservoir = def.Reservoir
+	}
+	if c.DistThreshold <= 0 {
+		c.DistThreshold = def.DistThreshold
+	}
+	if c.CostRatioThreshold <= 0 {
+		c.CostRatioThreshold = def.CostRatioThreshold
+	}
+	if c.MinObserved <= 0 {
+		c.MinObserved = def.MinObserved
+	}
+}
+
+// CostFn prices one template representative: cur is its expected runtime
+// under the incumbent design, lb a lower bound on what any design could
+// achieve (internal/adapt uses the cost model's estimate on a dedicated
+// perfectly clustered MV). Both in seconds.
+type CostFn func(q *query.Query) (cur, lb float64)
+
+// Binding is one observed literal assignment of a template: the constants
+// of the instance's predicates, flattened in the template's canonical
+// predicate order (Lo, Hi for ranges; the set values for INs).
+type Binding struct {
+	// At is the clock time of the observation.
+	At float64
+	// Literals are the flattened constants.
+	Literals []value.V
+}
+
+// template is one entry of the table.
+type template struct {
+	key   string
+	rep   *query.Query // first-seen instance, the snapshot representative
+	rate  float64      // decayed count, valued at `at`
+	at    float64      // clock of the last rate update
+	count int64        // raw observation count
+	first int64        // observation ordinal at first sight (tie-break)
+	cur   float64      // representative's cost under the incumbent design
+	lb    float64      // representative's lower-bound cost
+	// ring holds the most recent bindings; next is the slot the next
+	// observation overwrites, so ring[next:] ++ ring[:next] is oldest to
+	// newest once the ring has wrapped.
+	ring []Binding
+	next int
+}
+
+// rateAt decays the template's rate to time t.
+func (tp *template) rateAt(t, halfLife float64) float64 {
+	dt := t - tp.at
+	if dt <= 0 {
+		return tp.rate
+	}
+	return tp.rate * math.Exp2(-dt/halfLife)
+}
+
+// TemplateInfo is one template's public view.
+type TemplateInfo struct {
+	// Key is the structural fingerprint.
+	Key string
+	// Name is the representative query's name.
+	Name string
+	// Rate is the decayed observation rate at the time of the call; Share
+	// its fraction of the total rate.
+	Rate, Share float64
+	// Count is the raw observation count.
+	Count int64
+	// CurCost/LBCost are the representative's costs under the incumbent
+	// design and the lower bound (zero before the first Rebase).
+	CurCost, LBCost float64
+	// Bindings are the retained recent literal bindings, oldest first.
+	Bindings []Binding
+}
+
+// DriftReport is one drift decision with its evidence.
+type DriftReport struct {
+	// Drifted reports whether a redesign is warranted.
+	Drifted bool
+	// Distance is the total-variation distance between the current
+	// template distribution and the Rebase baseline.
+	Distance float64
+	// CostRatio is decayed incumbent cost over the decayed lower bound
+	// (0 when no cost function has been supplied yet).
+	CostRatio float64
+	// Observed counts observations since the last Rebase; Templates the
+	// current table size; Fresh how many templates appeared since the
+	// last Rebase.
+	Observed  int64
+	Templates int
+	Fresh     int
+}
+
+// String renders the report for logs and example output.
+func (r DriftReport) String() string {
+	return fmt.Sprintf("drift=%v dist=%.3f costRatio=%.3f observed=%d templates=%d fresh=%d",
+		r.Drifted, r.Distance, r.CostRatio, r.Observed, r.Templates, r.Fresh)
+}
+
+// Monitor is the online workload monitor. All methods are safe for
+// concurrent use; determinism statements assume a serialized observation
+// order (concurrent Observe calls are ordered by the lock).
+type Monitor struct {
+	cfg   Config
+	clock Clock
+
+	// fp memoizes fingerprints per *query.Query, so a stream replaying
+	// pooled instances pays string construction once per distinct pointer.
+	// Bounded: a stream of always-fresh pointers would otherwise grow the
+	// memo forever (see fingerprintOf).
+	fpMu sync.RWMutex
+	fp   map[*query.Query]string
+
+	mu        sync.Mutex
+	templates map[string]*template
+	order     []*template // first-seen order, the one iteration order
+	observed  int64
+
+	// Drift baseline and incremental cost sums (see package comment).
+	baseline      map[string]float64
+	rebasedAt     int64 // observation ordinal of the last Rebase
+	costFn        CostFn
+	curSum, lbSum float64 // decayed Σ rate·cost, valued at sumAt
+	sumAt         float64
+	baseRatio     float64 // cost ratio at the last Rebase (0 = unknown)
+}
+
+// New builds a monitor; clock must be non-nil and non-decreasing.
+func New(cfg Config, clock Clock) *Monitor {
+	if clock == nil {
+		panic("workload: a Clock is required")
+	}
+	cfg.fill()
+	return &Monitor{
+		cfg:       cfg,
+		clock:     clock,
+		fp:        make(map[*query.Query]string),
+		templates: make(map[string]*template),
+	}
+}
+
+// fpMemoLimit bounds the pointer memo. When a caller feeds a fresh
+// pointer per observation the memo never hits anyway; dropping it lets
+// genuinely pooled pointers repopulate while keeping memory bounded.
+const fpMemoLimit = 8192
+
+// Fingerprint returns q's structural template key: fact table, predicated
+// columns with operator kinds (IN predicates also keep their set
+// cardinality — a different IN width is a different selectivity class),
+// sorted target list and aggregate column. Literal constants do not
+// participate, so instances differing only in bindings share a template.
+func Fingerprint(q *query.Query) string {
+	var b strings.Builder
+	b.WriteString(q.Fact)
+	cols := make([]string, len(q.Predicates))
+	for i := range q.Predicates {
+		p := &q.Predicates[i]
+		s := p.Col + ":" + p.Op.String()
+		if p.Op == query.In {
+			s += ":" + strconv.Itoa(len(p.Set))
+		}
+		cols[i] = s
+	}
+	sort.Strings(cols)
+	for _, c := range cols {
+		b.WriteString("|p:")
+		b.WriteString(c)
+	}
+	targets := append([]string(nil), q.Targets...)
+	sort.Strings(targets)
+	for _, t := range targets {
+		b.WriteString("|t:")
+		b.WriteString(t)
+	}
+	b.WriteString("|agg:")
+	b.WriteString(q.AggCol)
+	return b.String()
+}
+
+// KeyOf resolves q's fingerprint through the monitor's pointer memo —
+// the cheap path for callers (the adaptive controller's rate table) that
+// key their own state by template.
+func (m *Monitor) KeyOf(q *query.Query) string { return m.fingerprintOf(q) }
+
+// fingerprintOf resolves q's fingerprint through the bounded pointer memo.
+func (m *Monitor) fingerprintOf(q *query.Query) string {
+	m.fpMu.RLock()
+	key, ok := m.fp[q]
+	m.fpMu.RUnlock()
+	if ok {
+		return key
+	}
+	key = Fingerprint(q)
+	m.fpMu.Lock()
+	if len(m.fp) >= fpMemoLimit {
+		m.fp = make(map[*query.Query]string, 64)
+	}
+	m.fp[q] = key
+	m.fpMu.Unlock()
+	return key
+}
+
+// bindingOf flattens q's predicate constants in declaration order.
+func bindingOf(q *query.Query, at float64) Binding {
+	var lits []value.V
+	for i := range q.Predicates {
+		p := &q.Predicates[i]
+		switch p.Op {
+		case query.In:
+			lits = append(lits, p.Set...)
+		default:
+			lits = append(lits, p.Lo, p.Hi)
+		}
+	}
+	return Binding{At: at, Literals: lits}
+}
+
+// decay is the factor rates shrink by over dt seconds.
+func (m *Monitor) decay(dt float64) float64 {
+	if dt <= 0 {
+		return 1
+	}
+	return math.Exp2(-dt / m.cfg.HalfLife)
+}
+
+// Observe records one executed query instance at the current clock time.
+func (m *Monitor) Observe(q *query.Query) {
+	key := m.fingerprintOf(q)
+	t := m.clock()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tp, ok := m.templates[key]
+	if !ok {
+		tp = &template{
+			key:   key,
+			rep:   q,
+			at:    t,
+			first: m.observed,
+			ring:  make([]Binding, 0, m.cfg.Reservoir),
+		}
+		if m.costFn != nil {
+			tp.cur, tp.lb = m.costFn(q)
+		}
+		m.templates[key] = tp
+		m.order = append(m.order, tp)
+	}
+	tp.rate = tp.rateAt(t, m.cfg.HalfLife) + 1
+	tp.at = t
+	tp.count++
+	m.observed++
+	m.evictLocked(t)
+
+	// Recent-bindings ring: append until full, then overwrite oldest.
+	b := bindingOf(q, t)
+	if len(tp.ring) < m.cfg.Reservoir {
+		tp.ring = append(tp.ring, b)
+	} else {
+		tp.ring[tp.next] = b
+		tp.next = (tp.next + 1) % m.cfg.Reservoir
+	}
+
+	// Incremental cost sums: both decay by the same factor, then the new
+	// observation contributes its template's costs once.
+	if m.costFn != nil {
+		f := m.decay(t - m.sumAt)
+		m.curSum = m.curSum*f + tp.cur
+		m.lbSum = m.lbSum*f + tp.lb
+		m.sumAt = t
+	}
+}
+
+// evictLocked enforces MaxTemplates: the lowest-rate template goes
+// (oldest first on exact ties), deterministically.
+func (m *Monitor) evictLocked(t float64) {
+	if m.cfg.MaxTemplates <= 0 || len(m.order) <= m.cfg.MaxTemplates {
+		return
+	}
+	victim := -1
+	var vRate float64
+	for i, tp := range m.order {
+		r := tp.rateAt(t, m.cfg.HalfLife)
+		if victim < 0 || r < vRate {
+			victim, vRate = i, r
+		}
+	}
+	// The evicted template's past contributions stay in the decayed cost
+	// sums (they decay away on their own); only its future observations
+	// stop accruing.
+	tp := m.order[victim]
+	delete(m.templates, tp.key)
+	m.order = append(m.order[:victim], m.order[victim+1:]...)
+}
+
+// Len returns the number of live templates.
+func (m *Monitor) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.order)
+}
+
+// Observed returns the total observation count.
+func (m *Monitor) Observed() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.observed
+}
+
+// sharesLocked returns the current rate share per template key at time t.
+func (m *Monitor) sharesLocked(t float64) map[string]float64 {
+	total := 0.0
+	rates := make([]float64, len(m.order))
+	for i, tp := range m.order {
+		rates[i] = tp.rateAt(t, m.cfg.HalfLife)
+		total += rates[i]
+	}
+	out := make(map[string]float64, len(m.order))
+	for i, tp := range m.order {
+		if total > 0 {
+			out[tp.key] = rates[i] / total
+		} else {
+			out[tp.key] = 0
+		}
+	}
+	return out
+}
+
+// Snapshot freezes the decayed workload: one query per template, in
+// first-seen order, with Weight set to the template's current decayed
+// rate. The returned queries are copies of each representative (the
+// first-seen instance), so callers may hold them across later stream
+// mutation. This is the workload a redesign solves for.
+func (m *Monitor) Snapshot() query.Workload {
+	t := m.clock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(query.Workload, 0, len(m.order))
+	for _, tp := range m.order {
+		r := tp.rateAt(t, m.cfg.HalfLife)
+		if r <= 0 {
+			continue
+		}
+		q := *tp.rep
+		q.Weight = r
+		out = append(out, &q)
+	}
+	return out
+}
+
+// Templates reports the table in first-seen order at the current clock.
+func (m *Monitor) Templates() []TemplateInfo {
+	t := m.clock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	shares := m.sharesLocked(t)
+	out := make([]TemplateInfo, len(m.order))
+	for i, tp := range m.order {
+		info := TemplateInfo{
+			Key:     tp.key,
+			Name:    tp.rep.Name,
+			Rate:    tp.rateAt(t, m.cfg.HalfLife),
+			Share:   shares[tp.key],
+			Count:   tp.count,
+			CurCost: tp.cur,
+			LBCost:  tp.lb,
+		}
+		// Oldest to newest: the unwrapped ring suffix first.
+		if len(tp.ring) == m.cfg.Reservoir {
+			info.Bindings = append(info.Bindings, tp.ring[tp.next:]...)
+			info.Bindings = append(info.Bindings, tp.ring[:tp.next]...)
+		} else {
+			info.Bindings = append(info.Bindings, tp.ring...)
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// Rebase re-anchors drift detection after a (re)design: the current
+// template distribution becomes the baseline, cost supplies the incumbent
+// and lower-bound costs of every template (and of templates first seen
+// later), and the decayed cost sums restart from an exact recomputation.
+// cost may be nil to keep the previous cost function.
+func (m *Monitor) Rebase(cost CostFn) {
+	t := m.clock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cost != nil {
+		m.costFn = cost
+	}
+	m.baseline = m.sharesLocked(t)
+	m.rebasedAt = m.observed
+	m.curSum, m.lbSum, m.sumAt, m.baseRatio = 0, 0, t, 0
+	if m.costFn == nil {
+		return
+	}
+	for _, tp := range m.order {
+		tp.cur, tp.lb = m.costFn(tp.rep)
+		r := tp.rateAt(t, m.cfg.HalfLife)
+		m.curSum += r * tp.cur
+		m.lbSum += r * tp.lb
+	}
+	if m.lbSum > 0 {
+		m.baseRatio = m.curSum / m.lbSum
+	}
+}
+
+// PrimeBaseline seeds the drift baseline with an assumed workload before
+// any traffic arrives: the baseline distribution becomes w's normalized
+// effective weights, keyed by template fingerprint (weights of queries
+// sharing a template merge). A later Rebase replaces it with observed
+// shares. Use when the incumbent design's intended mix is known — drift
+// is then measured against what the design was solved for, not against
+// an empty table.
+func (m *Monitor) PrimeBaseline(w query.Workload) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0.0
+	for _, q := range w {
+		total += q.EffectiveWeight()
+	}
+	m.baseline = make(map[string]float64, len(w))
+	if total <= 0 {
+		return
+	}
+	for _, q := range w {
+		m.baseline[Fingerprint(q)] += q.EffectiveWeight() / total
+	}
+	// Prime the rebase-time cost ratio too: the growth-based trigger then
+	// measures against what the incumbent was designed for.
+	if m.costFn != nil {
+		cur, lb := 0.0, 0.0
+		for _, q := range w {
+			cq, lq := m.costFn(q)
+			wt := q.EffectiveWeight()
+			cur += wt * cq
+			lb += wt * lq
+		}
+		if lb > 0 {
+			m.baseRatio = cur / lb
+		}
+	}
+}
+
+// CostSums exposes the decayed Σ rate·cost pair behind the cost-ratio
+// signal, decayed to the current clock — for telemetry and for the
+// property test pinning the incremental maintenance to a recomputation.
+func (m *Monitor) CostSums() (cur, lb float64) {
+	t := m.clock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.decay(t - m.sumAt)
+	return m.curSum * f, m.lbSum * f
+}
+
+// Drift evaluates the drift signals at the current clock. The decision is
+// deterministic: it depends only on the observation history and the
+// injected clock.
+func (m *Monitor) Drift() DriftReport {
+	t := m.clock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	r := DriftReport{
+		Observed:  m.observed - m.rebasedAt,
+		Templates: len(m.order),
+	}
+	shares := m.sharesLocked(t)
+	// Total-variation distance; templates absent from one side count as 0.
+	// Both loops run in a deterministic order (first-seen, then sorted
+	// baseline leftovers) so the float sum is bit-stable across replays.
+	d := 0.0
+	for _, tp := range m.order {
+		d += math.Abs(shares[tp.key] - m.baseline[tp.key])
+	}
+	var gone []string
+	for k := range m.baseline {
+		if _, ok := shares[k]; !ok {
+			gone = append(gone, k)
+		}
+	}
+	sort.Strings(gone)
+	for _, k := range gone {
+		d += m.baseline[k]
+	}
+	r.Distance = d / 2
+	for _, tp := range m.order {
+		if tp.first >= m.rebasedAt {
+			r.Fresh++
+		}
+	}
+	if m.costFn != nil && m.lbSum > 0 {
+		r.CostRatio = m.curSum / m.lbSum
+	}
+	// The cost signal is the ratio's growth since the last Rebase where a
+	// rebase-time ratio exists, the raw ratio otherwise.
+	costSignal := r.CostRatio
+	if m.baseRatio > 0 {
+		costSignal = r.CostRatio / m.baseRatio
+	}
+	if r.Observed >= int64(m.cfg.MinObserved) &&
+		(r.Distance >= m.cfg.DistThreshold ||
+			(costSignal > 0 && costSignal >= m.cfg.CostRatioThreshold)) {
+		r.Drifted = true
+	}
+	return r
+}

@@ -1,0 +1,312 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"coradd/internal/query"
+	"coradd/internal/ssb"
+	"coradd/internal/value"
+)
+
+// fakeClock is a hand-advanced clock.
+type fakeClock struct{ t float64 }
+
+func (c *fakeClock) now() float64 { return c.t }
+
+func q1() *query.Query {
+	return &query.Query{
+		Name: "A", Fact: "f",
+		Predicates: []query.Predicate{query.NewEq("x", 3), query.NewRange("y", 1, 9)},
+		Targets:    []string{"z"},
+		AggCol:     "rev",
+	}
+}
+
+func TestFingerprintNormalizesLiterals(t *testing.T) {
+	a := q1()
+	b := q1()
+	b.Predicates[0] = query.NewEq("x", 77)
+	b.Predicates[1] = query.NewRange("y", 2, 4)
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatalf("literal change altered fingerprint:\n%s\n%s", Fingerprint(a), Fingerprint(b))
+	}
+	// Structural changes do alter it: operator, column, targets, IN width.
+	c := q1()
+	c.Predicates[0] = query.NewRange("x", 3, 3)
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Error("operator change kept fingerprint")
+	}
+	d := q1()
+	d.Targets = []string{"z", "w"}
+	if Fingerprint(a) == Fingerprint(d) {
+		t.Error("target change kept fingerprint")
+	}
+	e := q1()
+	e.Predicates[0] = query.NewIn("x", 1, 2)
+	f := q1()
+	f.Predicates[0] = query.NewIn("x", 1, 2, 3)
+	if Fingerprint(e) == Fingerprint(f) {
+		t.Error("IN-set width change kept fingerprint")
+	}
+	// Predicate declaration order does not matter.
+	g := q1()
+	g.Predicates[0], g.Predicates[1] = g.Predicates[1], g.Predicates[0]
+	if Fingerprint(a) != Fingerprint(g) {
+		t.Error("predicate order altered fingerprint")
+	}
+}
+
+func TestEWMADecayHalvesAtHalfLife(t *testing.T) {
+	clk := &fakeClock{}
+	m := New(Config{HalfLife: 10}, clk.now)
+	m.Observe(q1())
+	clk.t = 10
+	info := m.Templates()
+	if len(info) != 1 {
+		t.Fatalf("templates = %d", len(info))
+	}
+	if got := info[0].Rate; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("rate after one half-life = %v, want 0.5", got)
+	}
+	// A second observation at t=10 stacks on the decayed rate.
+	m.Observe(q1())
+	if got := m.Templates()[0].Rate; math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("rate = %v, want 1.5", got)
+	}
+}
+
+func TestReservoirKeepsMostRecentBindings(t *testing.T) {
+	clk := &fakeClock{}
+	m := New(Config{Reservoir: 3}, clk.now)
+	for i := 0; i < 7; i++ {
+		clk.t = float64(i)
+		q := q1()
+		q.Predicates[0] = query.NewEq("x", value.V(i))
+		m.Observe(q)
+	}
+	b := m.Templates()[0].Bindings
+	if len(b) != 3 {
+		t.Fatalf("reservoir holds %d bindings, want 3", len(b))
+	}
+	for i, want := range []value.V{4, 5, 6} {
+		if b[i].Literals[0] != want {
+			t.Errorf("binding %d literal = %d, want %d (oldest-first recency)", i, b[i].Literals[0], want)
+		}
+		if b[i].At != float64(want) {
+			t.Errorf("binding %d at = %v, want %d", i, b[i].At, want)
+		}
+	}
+}
+
+func TestSnapshotWeightsAreDecayedRates(t *testing.T) {
+	clk := &fakeClock{}
+	m := New(Config{HalfLife: 10}, clk.now)
+	a := q1()
+	b := q1()
+	b.Name = "B"
+	b.Targets = []string{"z", "w"} // distinct template
+	for i := 0; i < 4; i++ {
+		m.Observe(a)
+	}
+	m.Observe(b)
+	clk.t = 10
+	w := m.Snapshot()
+	if len(w) != 2 {
+		t.Fatalf("snapshot has %d queries, want 2", len(w))
+	}
+	if w[0].Name != "A" || w[1].Name != "B" {
+		t.Fatalf("snapshot order %v, want first-seen", w.Names())
+	}
+	if math.Abs(w[0].Weight-2) > 1e-12 || math.Abs(w[1].Weight-0.5) > 1e-12 {
+		t.Errorf("weights = %v, %v; want 2, 0.5", w[0].Weight, w[1].Weight)
+	}
+	// Snapshot queries are copies: mutating them must not touch the table.
+	w[0].Weight = 99
+	if got := m.Snapshot()[0].Weight; math.Abs(got-2) > 1e-12 {
+		t.Errorf("snapshot aliased the template representative (weight %v)", got)
+	}
+}
+
+func TestDriftDistanceAndCostRatio(t *testing.T) {
+	clk := &fakeClock{}
+	m := New(Config{HalfLife: 1e9, MinObserved: 1, DistThreshold: 0.4, CostRatioThreshold: 2}, clk.now)
+	a := q1()
+	b := q1()
+	b.Name = "B"
+	b.Targets = []string{"z", "w"}
+
+	// Phase 1: only A; rebase with costs cur=1, lb=1 for A; B is pricey.
+	for i := 0; i < 10; i++ {
+		m.Observe(a)
+	}
+	m.Rebase(func(q *query.Query) (float64, float64) {
+		if q.Name == "A" {
+			return 1, 1
+		}
+		return 8, 1
+	})
+	r := m.Drift()
+	if r.Drifted || r.Distance != 0 {
+		t.Fatalf("fresh baseline drifted: %+v", r)
+	}
+	if math.Abs(r.CostRatio-1) > 1e-12 {
+		t.Fatalf("cost ratio = %v, want 1", r.CostRatio)
+	}
+
+	// Phase 2: B floods in. Distance → share(B) and ratio rises.
+	for i := 0; i < 10; i++ {
+		m.Observe(b)
+	}
+	r = m.Drift()
+	if math.Abs(r.Distance-0.5) > 1e-12 {
+		t.Errorf("distance = %v, want 0.5", r.Distance)
+	}
+	// curSum = 10·1 + 10·8 = 90, lbSum = 20 (no decay).
+	if math.Abs(r.CostRatio-4.5) > 1e-12 {
+		t.Errorf("cost ratio = %v, want 4.5", r.CostRatio)
+	}
+	if !r.Drifted {
+		t.Error("drift not detected")
+	}
+	if r.Fresh != 1 {
+		t.Errorf("fresh = %d, want 1", r.Fresh)
+	}
+
+	// Rebase resets both signals.
+	m.Rebase(nil)
+	r = m.Drift()
+	if r.Drifted || r.Distance != 0 {
+		t.Errorf("post-rebase report %+v", r)
+	}
+}
+
+func TestMinObservedGatesDrift(t *testing.T) {
+	clk := &fakeClock{}
+	m := New(Config{MinObserved: 50, DistThreshold: 0.1}, clk.now)
+	a := q1()
+	m.Observe(a)
+	m.Rebase(nil)
+	b := q1()
+	b.Name = "B"
+	b.Targets = []string{"z", "w"}
+	for i := 0; i < 30; i++ {
+		m.Observe(b)
+	}
+	if r := m.Drift(); r.Drifted {
+		t.Fatalf("drifted on %d < 50 observations: %+v", r.Observed, r)
+	}
+	for i := 0; i < 30; i++ {
+		m.Observe(b)
+	}
+	if r := m.Drift(); !r.Drifted {
+		t.Fatalf("no drift after threshold met: %+v", r)
+	}
+}
+
+// TestIncrementalCostSumsMatchRecomputation pins the O(1) sum maintenance
+// to the Σ rate·cost recomputation over the template table.
+func TestIncrementalCostSumsMatchRecomputation(t *testing.T) {
+	clk := &fakeClock{}
+	m := New(Config{HalfLife: 7}, clk.now)
+	pool := ssb.Queries()
+	m.Rebase(func(q *query.Query) (float64, float64) {
+		return 2 + float64(len(q.Predicates)), 1 + float64(len(q.Targets))
+	})
+	for i := 0; i < 200; i++ {
+		clk.t = float64(i) * 0.37
+		m.Observe(pool[(i*5)%len(pool)])
+	}
+	cur, lb := m.CostSums()
+	var wantCur, wantLB float64
+	for _, info := range m.Templates() {
+		wantCur += info.Rate * info.CurCost
+		wantLB += info.Rate * info.LBCost
+	}
+	if math.Abs(cur-wantCur) > 1e-9*math.Max(1, wantCur) {
+		t.Errorf("incremental curSum %v != recomputed %v", cur, wantCur)
+	}
+	if math.Abs(lb-wantLB) > 1e-9*math.Max(1, wantLB) {
+		t.Errorf("incremental lbSum %v != recomputed %v", lb, wantLB)
+	}
+}
+
+func TestMaxTemplatesEvictsLowestRate(t *testing.T) {
+	clk := &fakeClock{}
+	m := New(Config{HalfLife: 10, MaxTemplates: 2}, clk.now)
+	mk := func(name string, targets ...string) *query.Query {
+		q := q1()
+		q.Name = name
+		q.Targets = targets
+		return q
+	}
+	a, b, c := mk("A", "t1"), mk("B", "t2"), mk("C", "t3")
+	for i := 0; i < 5; i++ {
+		m.Observe(a)
+	}
+	m.Observe(b)
+	m.Observe(c) // table over budget: B (rate 1, older than C) is evicted
+	if m.Len() != 2 {
+		t.Fatalf("len = %d, want 2", m.Len())
+	}
+	names := m.Snapshot().Names()
+	if !reflect.DeepEqual(names, []string{"A", "C"}) {
+		t.Errorf("survivors = %v, want [A C]", names)
+	}
+}
+
+// TestTemplatingDeterminism is the satellite guarantee: replaying the same
+// stream against the same clock schedule produces an identical template
+// table (keys, rates, counts, bindings) and identical drift decisions.
+// Run under -race in CI, it also documents that a monitor is safe to share.
+func TestTemplatingDeterminism(t *testing.T) {
+	base := ssb.Queries()
+	aug := ssb.AugmentedQueries()
+	run := func() ([]TemplateInfo, []DriftReport, query.Workload) {
+		clk := &fakeClock{}
+		m := New(Config{HalfLife: 3, Reservoir: 4, MinObserved: 8, DistThreshold: 0.2}, clk.now)
+		m.Rebase(func(q *query.Query) (float64, float64) {
+			return float64(2 + len(q.Predicates)), 1
+		})
+		var reports []DriftReport
+		for i := 0; i < 300; i++ {
+			clk.t = float64(i) * 0.05
+			pool := base
+			if i >= 150 {
+				pool = aug
+			}
+			m.Observe(pool[(i*7)%len(pool)])
+			if i%25 == 24 {
+				reports = append(reports, m.Drift())
+			}
+		}
+		return m.Templates(), reports, m.Snapshot()
+	}
+	t1, r1, s1 := run()
+	t2, r2, s2 := run()
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatal("template tables differ across identical replays")
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("drift decisions differ across identical replays")
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("snapshot sizes differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i].Name != s2[i].Name || s1[i].Weight != s2[i].Weight {
+			t.Fatalf("snapshot entry %d differs: %s/%v vs %s/%v",
+				i, s1[i].Name, s1[i].Weight, s2[i].Name, s2[i].Weight)
+		}
+	}
+	// The drifting stream must actually have drifted by the end, and the
+	// augmented phase must have contributed fresh templates.
+	last := r1[len(r1)-1]
+	if !last.Drifted {
+		t.Errorf("augmented shift not detected: %+v", last)
+	}
+	if last.Fresh == 0 {
+		t.Error("no fresh templates after the augmented shift")
+	}
+}
