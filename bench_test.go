@@ -163,3 +163,12 @@ func BenchmarkAblationAdapt(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkAblationChaos(b *testing.B) {
+	s := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exp.ChaosAblation(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,7 +7,7 @@
 //	experiments [-full] [-chrono] [-run id] [-ssbrows n] [-apbrows n]
 //
 // where id selects one experiment: table1, fig5, fig6, fig7, fig9, fig10,
-// fig11, fig13, fig14, a3, relax, merge, cidx, deploy, adapt, all
+// fig11, fig13, fig14, a3, relax, merge, cidx, deploy, adapt, chaos, all
 // (default all).
 //
 // Flags:
@@ -31,6 +31,13 @@
 //	                        unlimited — the off-runner escape hatch for
 //	                        running the Figure 9/11 mid-budget instances
 //	                        to proven optimality alongside -full)
+//	CORADD_SOLVER_TIMELIMIT wall-clock deadline per exact solve, as a
+//	                        Go duration ("30s", "2m"; unset = none). A
+//	                        triggered deadline keeps the solver's best
+//	                        incumbent and marks the solve unproven —
+//	                        such rows carry a * in the Figure 9/11
+//	                        tables. Zero, negative or non-duration
+//	                        values are rejected at startup.
 //	CORADD_CACHE_BYTES      materialization-cache capacity: a
 //	                        non-negative integer byte count (0 =
 //	                        unlimited; unset = the 1 GiB default).
@@ -51,7 +58,7 @@ import (
 func main() {
 	full := flag.Bool("full", false, "use the larger paper-like scale (slower)")
 	chrono := flag.Bool("chrono", false, "chronologically loaded SSB (load-order correlation scenario)")
-	run := flag.String("run", "all", "experiment id: table1,fig5,fig6,fig7,fig9,fig10,fig11,fig13,fig14,a3,relax,merge,cidx,deploy,adapt,all")
+	run := flag.String("run", "all", "experiment id: table1,fig5,fig6,fig7,fig9,fig10,fig11,fig13,fig14,a3,relax,merge,cidx,deploy,adapt,chaos,all")
 	ssbRows := flag.Int("ssbrows", 0, "override SSB fact rows")
 	apbRows := flag.Int("apbrows", 0, "override APB fact rows")
 	optQueries := flag.Int("optqueries", 8, "workload size for the Figure 7 OPT brute force")
@@ -204,6 +211,14 @@ func main() {
 	})
 	step("adapt", func() error {
 		_, t, err := exp.AdaptAblation(scale)
+		if err != nil {
+			return err
+		}
+		t.Print(out)
+		return nil
+	})
+	step("chaos", func() error {
+		_, t, err := exp.ChaosAblation(scale)
 		if err != nil {
 			return err
 		}

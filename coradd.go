@@ -32,6 +32,7 @@ import (
 	"coradd/internal/deploy"
 	"coradd/internal/designer"
 	"coradd/internal/exec"
+	"coradd/internal/fault"
 	"coradd/internal/feedback"
 	"coradd/internal/query"
 	"coradd/internal/schema"
@@ -112,7 +113,30 @@ type (
 	AdaptiveReport = adapt.Report
 	// AdaptiveEvent is one trace entry of an adaptive run.
 	AdaptiveEvent = adapt.Event
+	// FaultInjector is the deterministic fault layer (internal/fault): a
+	// nil injector disables every fault path, byte for byte. Wire one into
+	// AdaptiveConfig.Faults to fail/delay builds, time out solves and
+	// crash migrations on a replayable schedule.
+	FaultInjector = fault.Injector
+	// FaultConfig is the injected fault schedule (seeded probabilities,
+	// per-build caps, crash points).
+	FaultConfig = fault.Config
+	// RetryPolicy is the capped exponential backoff failed builds retry
+	// under (AdaptiveConfig.Retry; zero value = the defaults).
+	RetryPolicy = fault.RetryPolicy
+	// MigrationJournal is a migration's durable step journal: enough to
+	// resume an interrupted migration from the completed prefix
+	// (AdaptiveController.Journal, ResumeAdaptive).
+	MigrationJournal = deploy.Journal
 )
+
+// ErrCrash is the injected-crash sentinel: an AdaptiveController whose
+// Process returns an error wrapping ErrCrash died mid-migration with its
+// journal intact — rebuild it with System.ResumeAdaptive.
+var ErrCrash = fault.ErrCrash
+
+// NewFaultInjector builds a deterministic fault injector from a schedule.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return fault.New(cfg) }
 
 // Value types: all attribute values are int64-coded (string attributes are
 // dictionary-coded per column; see internal/value).
@@ -416,7 +440,8 @@ func EvaluateSchedule(plan *MigrationPlan, order []int) (*DeploySchedule, error)
 // clock (seconds; inject a fake for deterministic replays). Feed it the
 // executed query stream with Observe, read Drift for redesign decisions
 // and Snapshot for the decayed workload a redesign should solve for.
-func NewWorkloadMonitor(cfg MonitorConfig, clock func() float64) *WorkloadMonitor {
+// A nil clock is a configuration error, reported rather than panicking.
+func NewWorkloadMonitor(cfg MonitorConfig, clock func() float64) (*WorkloadMonitor, error) {
 	return workload.New(cfg, clock)
 }
 
@@ -432,6 +457,24 @@ func (s *System) Adaptive(initial *Design, cfg AdaptiveConfig) (*AdaptiveControl
 		cfg.FB.MaxIters = s.coradd.Feedback.MaxIters
 	}
 	return adapt.New(s.coradd.Common, initial, cfg)
+}
+
+// ResumeAdaptive rebuilds an adaptive controller after a crash (an
+// AdaptiveController.Process error wrapping ErrCrash): w is the workload
+// the resumed controller redesigns for — typically the crashed
+// controller's Mon.Snapshot() — to the design the journaled migration was
+// deploying (the crashed controller's Incumbent), and j its step journal.
+// The resumed migration follows the journaled build order from the
+// completed prefix; the monitor is re-seeded from w so drift detection
+// continues the crashed trajectory instead of restarting cold.
+func (s *System) ResumeAdaptive(w Workload, to *Design, j *MigrationJournal, cfg AdaptiveConfig) (*AdaptiveController, error) {
+	cfg.Cand = fillCandidateDefaults(cfg.Cand)
+	if cfg.FB.MaxIters == 0 {
+		cfg.FB.MaxIters = s.coradd.Feedback.MaxIters
+	}
+	common := s.coradd.Common
+	common.W = w
+	return adapt.Resume(common, to, j, cfg)
 }
 
 // DiscoverCorrelations runs the CORDS-style discovery pass over the fact

@@ -37,11 +37,13 @@ package adapt
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"coradd/internal/candgen"
 	"coradd/internal/costmodel"
 	"coradd/internal/deploy"
 	"coradd/internal/designer"
+	"coradd/internal/fault"
 	"coradd/internal/feedback"
 	"coradd/internal/query"
 	"coradd/internal/stats"
@@ -76,6 +78,21 @@ type Config struct {
 	// one. Sharing with other evaluators over the same fact relation lets
 	// identical physical structures be built once.
 	Cache *designer.ObjectCache
+	// Faults injects build failures, delays, solve cutoffs and crashes
+	// (internal/fault). nil disables the layer entirely: the controller
+	// takes the exact code paths it took before the layer existed, so
+	// fault-free runs are byte-identical.
+	Faults *fault.Injector
+	// Retry bounds how build failures are retried (capped exponential
+	// backoff with deterministic jitter). Zero fields take fault.RetryPolicy
+	// defaults. A build failing more than Retry.Retries times is skipped
+	// and the remaining schedule re-solved.
+	Retry fault.RetryPolicy
+	// SolveTimeLimit deadlines every redesign's selection solves. On expiry
+	// the solve returns its best warm-started incumbent unproven; the
+	// controller adopts it anyway (degradation, not failure — warm starts
+	// guarantee it is never worse than the deployed design).
+	SolveTimeLimit time.Duration
 }
 
 func (c *Config) fill() {
@@ -85,6 +102,7 @@ func (c *Config) fill() {
 	if c.ReplanTolerance == 0 {
 		c.ReplanTolerance = 0.25
 	}
+	c.Retry = c.Retry.Fill()
 }
 
 // EventKind classifies trace events.
@@ -100,6 +118,17 @@ const (
 	EventReplan
 	// EventMigrationDone marks a fully deployed target design.
 	EventMigrationDone
+	// EventBuildFailed is one injected build failure, scheduled for retry
+	// after backoff.
+	EventBuildFailed
+	// EventBuildSkipped is a build abandoned after exhausting its retries;
+	// the remaining schedule is re-solved without it.
+	EventBuildSkipped
+	// EventSolveDegraded is a redesign whose solve hit its deadline: the
+	// unproven warm-started incumbent was adopted.
+	EventSolveDegraded
+	// EventResume is a controller rebuilt from a migration journal.
+	EventResume
 )
 
 // String names the kind.
@@ -113,6 +142,14 @@ func (k EventKind) String() string {
 		return "replan"
 	case EventMigrationDone:
 		return "migrated"
+	case EventBuildFailed:
+		return "build-failed"
+	case EventBuildSkipped:
+		return "build-skipped"
+	case EventSolveDegraded:
+		return "solve-degraded"
+	case EventResume:
+		return "resume"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -145,6 +182,10 @@ type RedesignInfo struct {
 	// Changed reports whether the redesign differed from the incumbent
 	// (an unchanged redesign only rebases the drift baseline).
 	Changed bool
+	// Proven reports whether every selection solve proved optimality;
+	// false means the solve hit its deadline (Config.SolveTimeLimit or an
+	// injected node cap) and the warm incumbent was adopted unproven.
+	Proven bool
 }
 
 // Report is the controller's cumulative telemetry.
@@ -161,6 +202,12 @@ type Report struct {
 	Redesigns  int
 	Replans    int
 	BuildsDone int
+	// Retries counts injected build failures that were retried;
+	// SkippedBuilds builds abandoned after retry exhaustion; Degraded
+	// redesigns adopted unproven after a solve deadline.
+	Retries       int
+	SkippedBuilds int
+	Degraded      int
 	// RedesignLog records every redesign, in order.
 	RedesignLog []*RedesignInfo
 }
@@ -177,10 +224,17 @@ type migration struct {
 	builds []float64
 	rates  []float64
 	wTotal float64
-	// done are the deployed builds; nextDone the simulated completion
-	// time of order[0].
+	// done are the deployed builds; skipped builds abandoned after retry
+	// exhaustion; nextDone the simulated completion time of order[0]'s
+	// current attempt.
 	done     []int
+	skipped  []int
 	nextDone float64
+	// pending is the injected fate of order[0]'s current attempt, drawn
+	// when the attempt was scheduled; attempts counts failed attempts per
+	// object name.
+	pending  fault.Outcome
+	attempts map[string]int
 }
 
 // Controller drives the adaptive loop over a stream of executed queries.
@@ -199,6 +253,7 @@ type Controller struct {
 	incumbent *designer.Design // current target design
 	deployed  *designer.Design // what physically serves right now
 	mig       *migration
+	journal   *deploy.Journal    // step record of the latest migration
 	rates     map[string]float64 // template key → measured seconds on deployed
 	lbCache   map[string]float64 // template key → lower-bound estimate
 
@@ -232,7 +287,11 @@ func New(common designer.Common, initial *designer.Design, cfg Config) (*Control
 	if c.cache == nil {
 		c.cache = designer.NewObjectCache()
 	}
-	c.Mon = workload.New(cfg.Monitor, func() float64 { return c.clock })
+	mon, err := workload.New(cfg.Monitor, func() float64 { return c.clock })
+	if err != nil {
+		return nil, err
+	}
+	c.Mon = mon
 	c.Mon.Rebase(c.costOf(initial))
 	if len(common.W) > 0 {
 		// Drift is measured against the mix the initial design was solved
@@ -255,6 +314,12 @@ func (c *Controller) Deployed() *designer.Design { return c.deployed }
 
 // Migrating reports whether a migration is in flight.
 func (c *Controller) Migrating() bool { return c.mig != nil }
+
+// Journal returns a deep copy of the latest migration's step journal (the
+// durable record a real deployment would fsync per step), or nil if no
+// migration has started. After a crash (fault.ErrCrash from Process) this
+// is the state Resume restarts from.
+func (c *Controller) Journal() *deploy.Journal { return c.journal.Clone() }
 
 // Report returns a snapshot of the telemetry.
 func (c *Controller) Report() Report {
@@ -279,9 +344,30 @@ func (c *Controller) event(kind EventKind, format string, args ...any) {
 // amount, in-flight builds that completed during the execution are
 // deployed (possibly replanning the remainder), and the drift check runs
 // on its cadence. Returns the query's measured seconds.
-func (c *Controller) Process(q *query.Query) (float64, error) {
+//
+// Process never panics: a panic anywhere below it — including one
+// re-raised from a par.ForEach worker (*par.WorkerPanic, which carries
+// the worker's original stack) — is recovered into the returned error, so
+// one poisoned query poisons one Process call, not the process. An
+// injected crash surfaces as an error wrapping fault.ErrCrash with the
+// migration journal intact; rebuild with Resume to continue.
+func (c *Controller) Process(q *query.Query) (sec float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sec = 0
+			name := "<nil>"
+			if q != nil {
+				name = q.Name
+			}
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("adapt: panic while processing %s: %w", name, e)
+			} else {
+				err = fmt.Errorf("adapt: panic while processing %s: %v", name, r)
+			}
+		}
+	}()
 	c.Mon.Observe(q)
-	sec, err := c.rateFor(q)
+	sec, err = c.rateFor(q)
 	if err != nil {
 		return 0, err
 	}
@@ -346,14 +432,81 @@ func (c *Controller) measuredRate(w query.Workload) (float64, float64, error) {
 	return rate, wTotal, nil
 }
 
+// scheduleHead schedules the next attempt of the migration's head build
+// starting at start: the injector draws the attempt's fate (fail/delay)
+// up front — the fate of a build is decided when it starts, not when it
+// lands — and the completion time includes any injected slowdown.
+func (c *Controller) scheduleHead(start float64) {
+	m := c.mig
+	m.pending = c.cfg.Faults.BuildAttempt(m.plan.Builds[m.order[0]].Name)
+	m.nextDone = start + m.builds[0]*(1+m.pending.DelayFactor)
+}
+
+// finishMigration closes out an in-flight migration. A migration that
+// skipped builds lands short of its target: the deployed prefix — not the
+// unreachable target — becomes the incumbent, and the drift baseline is
+// rebased on it so a later redesign can retry the missing objects.
+func (c *Controller) finishMigration() {
+	m := c.mig
+	c.mig = nil
+	if len(m.skipped) > 0 {
+		c.incumbent = c.deployed
+		c.Mon.Rebase(c.costOf(c.deployed))
+		c.event(EventMigrationDone, "migration to %s complete degraded: %d of %d builds skipped; incumbent is deployed prefix %s",
+			m.plan.To.Name, len(m.skipped), len(m.plan.Builds), c.deployed.Name)
+		return
+	}
+	c.event(EventMigrationDone, "migration to %s complete", c.incumbent.Name)
+}
+
 // advanceMigration deploys every build whose completion time the clock
 // has passed, re-measuring the new prefix after each and replanning the
-// remaining schedule when the measured rate diverges from the modeled one.
+// remaining schedule when the measured rate diverges from the modeled
+// one. Injected build failures consume the attempt's full build seconds,
+// then a backoff wait — both charged to the simulated timeline — before
+// the retry; a build exhausting Config.Retry is skipped and the remaining
+// schedule re-solved without it.
 func (c *Controller) advanceMigration() error {
 	for c.mig != nil && c.clock >= c.mig.nextDone {
 		m := c.mig
 		bi := m.order[0]
 		finished := m.nextDone
+		name := m.plan.Builds[bi].Name
+
+		if m.pending.Fail {
+			m.attempts[name]++
+			if m.attempts[name] <= c.cfg.Retry.Retries {
+				wait := c.cfg.Retry.Wait(m.attempts[name], c.cfg.Faults)
+				c.report.Retries++
+				c.event(EventBuildFailed, "build %s failed (attempt %d/%d); retrying in %.2fs",
+					name, m.attempts[name], c.cfg.Retry.Retries+1, wait)
+				c.scheduleHead(finished + wait)
+				continue
+			}
+			// Retries exhausted: abandon the build and re-solve the rest.
+			m.order = m.order[1:]
+			m.builds = m.builds[1:]
+			m.rates = m.rates[1:]
+			m.skipped = append(m.skipped, bi)
+			c.report.SkippedBuilds++
+			c.journalSkip(bi)
+			c.event(EventBuildSkipped, "build %s failed %d times; skipped, %d builds remain",
+				name, m.attempts[name], len(m.order))
+			if len(m.order) == 0 {
+				c.finishMigration()
+				return nil
+			}
+			w := c.Mon.Snapshot()
+			if len(w) == 0 {
+				c.scheduleHead(finished)
+				continue
+			}
+			if err := c.replan(w, finished); err != nil {
+				return err
+			}
+			continue
+		}
+
 		m.done = append(m.done, bi)
 		m.order = m.order[1:]
 		m.builds = m.builds[1:]
@@ -364,20 +517,29 @@ func (c *Controller) advanceMigration() error {
 		w := c.Mon.Snapshot()
 		c.deployed = m.plan.PrefixDesign(c.model, w, m.done)
 		c.rates = make(map[string]float64)
-		c.event(EventBuild, "built %s (%d/%d)", m.plan.Builds[bi].Name,
+		c.event(EventBuild, "built %s (%d/%d)", name,
 			len(m.done), len(m.done)+len(m.order))
+		c.journalDone(bi)
+		crash := c.cfg.Faults.BuildCompleted()
 
 		if len(m.order) == 0 {
-			c.mig = nil
-			c.event(EventMigrationDone, "migration to %s complete", c.incumbent.Name)
+			c.finishMigration()
+			if crash {
+				return fmt.Errorf("adapt: %w after build %s (journal: %d done, 0 remaining)",
+					fault.ErrCrash, name, len(m.done))
+			}
 			return nil
+		}
+		if crash {
+			return fmt.Errorf("adapt: %w after build %s (journal: %d done, %d remaining)",
+				fault.ErrCrash, name, len(m.done), len(m.order))
 		}
 
 		// Replan check: scale-free comparison of the measured per-weight
 		// rate of the deployed prefix against the per-weight rate the
 		// schedule assumed for the next step.
 		if c.cfg.ReplanTolerance < 0 || len(w) == 0 {
-			m.nextDone = finished + m.builds[0]
+			c.scheduleHead(finished)
 			continue
 		}
 		meas, wTot, err := c.measuredRate(w)
@@ -393,9 +555,41 @@ func (c *Controller) advanceMigration() error {
 			}
 			continue
 		}
-		m.nextDone = finished + m.builds[0]
+		c.scheduleHead(finished)
 	}
 	return nil
+}
+
+// journalDone records a completed build in the journal and refreshes the
+// planned remainder.
+func (c *Controller) journalDone(bi int) {
+	if c.journal == nil {
+		return
+	}
+	c.journal.Done = append(c.journal.Done, bi)
+	c.syncJournalNext()
+}
+
+// journalSkip records an abandoned build in the journal.
+func (c *Controller) journalSkip(bi int) {
+	if c.journal == nil {
+		return
+	}
+	c.journal.Skipped = append(c.journal.Skipped, bi)
+	c.syncJournalNext()
+}
+
+// syncJournalNext mirrors the in-flight remaining order into the journal
+// (after a build, skip or replan reshapes it).
+func (c *Controller) syncJournalNext() {
+	if c.journal == nil {
+		return
+	}
+	if c.mig == nil {
+		c.journal.Next = nil
+		return
+	}
+	c.journal.Next = append([]int(nil), c.mig.order...)
 }
 
 // replan re-solves the remaining scheduling problem under the current
@@ -466,7 +660,8 @@ func (c *Controller) replan(w query.Workload, now float64) error {
 	m.builds = append([]float64(nil), sched.Builds...)
 	m.rates = append([]float64(nil), sched.Rates...)
 	m.wTotal = wTotal
-	m.nextDone = now + m.builds[0]
+	c.syncJournalNext()
+	c.scheduleHead(now)
 	c.report.Replans++
 	c.event(EventReplan, "replanned %d remaining builds (nodes %d, next %s)",
 		len(order), sched.Nodes, m.plan.Builds[order[0]].Name)
@@ -482,7 +677,22 @@ func (c *Controller) redesign(drift workload.DriftReport) error {
 	}
 	common := c.common
 	common.W = w
-	des := designer.NewCORADD(common, c.cfg.Cand, c.cfg.FB)
+	// A redesign must answer before the workload moves on: deadline the
+	// selection solves (wall-clock, or the injector's deterministic node
+	// cap). Warm starts adopt the incumbent's objects up front, so a
+	// deadline-cut solve still holds a feasible design never worse than
+	// the deployed one — degradation, not failure.
+	fb := c.cfg.FB
+	if fb.Solve.IsZero() {
+		fb.Solve = c.common.Solve
+	}
+	if c.cfg.SolveTimeLimit > 0 {
+		fb.Solve.TimeLimit = c.cfg.SolveTimeLimit
+	}
+	if cut := c.cfg.Faults.SolveInterrupt(); cut != nil {
+		fb.Solve.Interrupt = cut
+	}
+	des := designer.NewCORADD(common, c.cfg.Cand, fb)
 	d2, err := des.DesignFrom(c.cfg.Budget, c.incumbent)
 	if err != nil {
 		return err
@@ -490,10 +700,16 @@ func (c *Controller) redesign(drift workload.DriftReport) error {
 	info := &RedesignInfo{
 		Clock: c.clock, Drift: drift, Snapshot: w,
 		Solve: des.LastSolve, Design: d2, Nodes: d2.SolverNodes,
+		Proven: d2.SolverProven,
 	}
 	c.report.Redesigns++
 	c.report.RedesignLog = append(c.report.RedesignLog, info)
 	c.lastRedesign = c.clock
+	if !d2.SolverProven {
+		c.report.Degraded++
+		c.event(EventSolveDegraded, "redesign solve hit its deadline after %d nodes; adopting unproven warm-started incumbent",
+			d2.SolverNodes)
+	}
 
 	if sameObjects(c.incumbent, d2) {
 		// The recent mix still wants the incumbent: re-anchor drift
@@ -509,6 +725,7 @@ func (c *Controller) redesign(drift workload.DriftReport) error {
 	if err != nil {
 		return err
 	}
+	fromName := c.incumbent.Name
 	c.incumbent = d2
 	c.Mon.Rebase(c.costOf(d2))
 	c.event(EventRedesign, "drift (%s) → redesign: %d kept, %d dropped, %d builds, %d solver nodes",
@@ -518,6 +735,7 @@ func (c *Controller) redesign(drift workload.DriftReport) error {
 	// the kept prefix from now.
 	c.deployed = plan.PrefixDesign(c.model, w, nil)
 	c.rates = make(map[string]float64)
+	c.journal = plan.NewJournal(fromName)
 	if len(plan.Builds) == 0 {
 		c.event(EventMigrationDone, "migration to %s complete (drops only)", d2.Name)
 		return nil
@@ -529,9 +747,74 @@ func (c *Controller) redesign(drift workload.DriftReport) error {
 		builds:   append([]float64(nil), sched.Builds...),
 		rates:    append([]float64(nil), sched.Rates...),
 		wTotal:   totalWeight(w),
-		nextDone: c.clock + sched.Builds[0],
+		attempts: make(map[string]int),
 	}
+	c.scheduleHead(c.clock)
 	return nil
+}
+
+// Resume rebuilds a controller from a migration journal after a crash
+// (an injected fault.ErrCrash, or a real process death whose journal
+// survived). to is the crashed migration's target design — in a real
+// deployment reloaded from the durable design catalog — and common.W the
+// restarted monitor's baseline workload. The resumed controller serves
+// from the journaled prefix design and follows the journaled remaining
+// order rather than re-deciding it, so an interrupted run's step sequence
+// matches the uninterrupted run's exactly. The simulated clock restarts
+// at zero: a resumed timeline is a new timeline.
+func Resume(common designer.Common, to *designer.Design, j *deploy.Journal, cfg Config) (*Controller, error) {
+	if j == nil {
+		return nil, fmt.Errorf("adapt: a journal is required to resume")
+	}
+	if len(common.W) == 0 {
+		return nil, fmt.Errorf("adapt: resume needs a baseline workload (the crashed monitor's last snapshot)")
+	}
+	c, err := New(common, to, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The restarted monitor must continue the crashed monitor's EWMA
+	// trajectory, not start empty: seed the template rates from the
+	// snapshot (whose weights are the crashed monitor's decayed rates) and
+	// re-anchor drift on the seeded table. An empty table would converge
+	// to the first few post-restart observations and read as drift the
+	// crashed monitor never saw.
+	c.Mon.PrimeRates(common.W)
+	c.Mon.Rebase(c.costOf(to))
+	plan, err := designer.ResumeMigration(common.St, common.Disk, common.W, c.model, to, j)
+	if err != nil {
+		return nil, err
+	}
+	c.journal = j.Clone()
+	c.deployed = plan.PrefixDesign(c.model, common.W, j.Done)
+	c.rates = make(map[string]float64)
+	c.event(EventResume, "resumed migration %s → %s from journal: %d built, %d remaining, %d skipped",
+		j.From, j.To, len(j.Done), len(j.Next), len(j.Skipped))
+	if len(j.Next) == 0 {
+		// The crash landed after the final build: nothing left in flight.
+		if len(j.Skipped) > 0 {
+			c.incumbent = c.deployed
+			c.Mon.Rebase(c.costOf(c.deployed))
+		}
+		c.event(EventMigrationDone, "migration to %s complete", c.incumbent.Name)
+		return c, nil
+	}
+	// The resumed plan priced the order Done ++ Next ++ Skipped; slice out
+	// Next's span for the in-flight remainder.
+	sched := plan.Schedule
+	lo, hi := len(j.Done), len(j.Done)+len(j.Next)
+	c.mig = &migration{
+		plan:     plan,
+		order:    append([]int(nil), j.Next...),
+		builds:   append([]float64(nil), sched.Builds[lo:hi]...),
+		rates:    append([]float64(nil), sched.Rates[lo:hi]...),
+		wTotal:   totalWeight(common.W),
+		done:     append([]int(nil), j.Done...),
+		skipped:  append([]int(nil), j.Skipped...),
+		attempts: make(map[string]int),
+	}
+	c.scheduleHead(c.clock)
+	return c, nil
 }
 
 // costOf builds the monitor's cost function for incumbent design d: cur

@@ -1,0 +1,95 @@
+package deploy
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Journal is the durable step record of an in-flight migration: which
+// objects the migration kept, dropped and has built so far, and the
+// planned order of what remains. The adaptive controller writes it after
+// every state change (migration start, build completion, replan, skip),
+// so a controller killed mid-migration can be rebuilt from the journal
+// and resume from the journaled prefix design — following the journaled
+// plan rather than re-deciding it, which is what makes the resumed step
+// sequence identical to the uninterrupted run's.
+//
+// Objects are recorded by their structural key (costmodel.MVDesign.Key),
+// the same identity PlanMigration matches designs with, so a journal is
+// meaningful across process restarts as long as the target design can be
+// reconstructed (in a real deployment, from the durable design catalog).
+type Journal struct {
+	// From/To name the migration's endpoint designs.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Kept are objects present in both designs (deployed throughout);
+	// Dropped the old objects removed up front; Builds every object the
+	// migration must construct, in plan order. All structural keys.
+	Kept    []string `json:"kept,omitempty"`
+	Dropped []string `json:"dropped,omitempty"`
+	Builds  []string `json:"builds"`
+	// Done are completed builds in deployment order; Skipped builds
+	// abandoned after retry exhaustion; Next the remaining planned order,
+	// head first. All indexes into Builds; together they partition it.
+	Done    []int `json:"done,omitempty"`
+	Skipped []int `json:"skipped,omitempty"`
+	Next    []int `json:"next,omitempty"`
+}
+
+// Encode renders the journal as JSON — the durable form a controller
+// would fsync per step.
+func (j *Journal) Encode() ([]byte, error) {
+	return json.Marshal(j)
+}
+
+// DecodeJournal parses and validates an encoded journal.
+func DecodeJournal(data []byte) (*Journal, error) {
+	j := &Journal{}
+	if err := json.Unmarshal(data, j); err != nil {
+		return nil, fmt.Errorf("deploy: corrupt journal: %v", err)
+	}
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// Validate checks structural well-formedness: Done, Skipped and Next must
+// partition the build indexes exactly.
+func (j *Journal) Validate() error {
+	n := len(j.Builds)
+	seen := make([]bool, n)
+	total := 0
+	for _, part := range [][]int{j.Done, j.Skipped, j.Next} {
+		for _, bi := range part {
+			if bi < 0 || bi >= n {
+				return fmt.Errorf("deploy: journal references build %d of %d", bi, n)
+			}
+			if seen[bi] {
+				return fmt.Errorf("deploy: journal lists build %d (%s) twice", bi, j.Builds[bi])
+			}
+			seen[bi] = true
+			total++
+		}
+	}
+	if total != n {
+		return fmt.Errorf("deploy: journal covers %d of %d builds", total, n)
+	}
+	return nil
+}
+
+// Clone deep-copies the journal, so a caller-held snapshot cannot be
+// mutated by the controller's next step.
+func (j *Journal) Clone() *Journal {
+	if j == nil {
+		return nil
+	}
+	c := *j
+	c.Kept = append([]string(nil), j.Kept...)
+	c.Dropped = append([]string(nil), j.Dropped...)
+	c.Builds = append([]string(nil), j.Builds...)
+	c.Done = append([]int(nil), j.Done...)
+	c.Skipped = append([]int(nil), j.Skipped...)
+	c.Next = append([]int(nil), j.Next...)
+	return &c
+}

@@ -1,0 +1,67 @@
+package deploy
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestJournalRoundTrip pins the durable form: Encode → DecodeJournal is
+// the identity on a well-formed journal.
+func TestJournalRoundTrip(t *testing.T) {
+	j := &Journal{
+		From: "CORADD", To: "CORADD",
+		Kept:    []string{"k1"},
+		Dropped: []string{"d1", "d2"},
+		Builds:  []string{"b0", "b1", "b2", "b3"},
+		Done:    []int{2},
+		Skipped: []int{0},
+		Next:    []int{3, 1},
+	}
+	data, err := j.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(j, got) {
+		t.Errorf("round trip changed the journal:\n%+v\n%+v", j, got)
+	}
+}
+
+// TestJournalValidate rejects out-of-range, duplicated and missing build
+// indexes — a corrupt journal must fail loudly, not resume wrongly.
+func TestJournalValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		j    Journal
+		ok   bool
+	}{
+		{"complete", Journal{Builds: []string{"a", "b"}, Done: []int{0}, Next: []int{1}}, true},
+		{"empty", Journal{}, true},
+		{"out of range", Journal{Builds: []string{"a"}, Next: []int{1}}, false},
+		{"negative", Journal{Builds: []string{"a"}, Done: []int{-1}, Next: []int{0}}, false},
+		{"duplicate", Journal{Builds: []string{"a", "b"}, Done: []int{0}, Next: []int{0, 1}}, false},
+		{"missing", Journal{Builds: []string{"a", "b"}, Done: []int{0}}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.j.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// TestJournalCloneIsolation: mutating a clone leaves the original intact.
+func TestJournalCloneIsolation(t *testing.T) {
+	j := &Journal{Builds: []string{"a", "b"}, Done: []int{0}, Next: []int{1}}
+	c := j.Clone()
+	c.Done[0] = 1
+	c.Next = append(c.Next, 0)
+	if j.Done[0] != 0 || len(j.Next) != 1 {
+		t.Error("clone shares backing arrays with the original")
+	}
+	if (*Journal)(nil).Clone() != nil {
+		t.Error("nil clone not nil")
+	}
+}

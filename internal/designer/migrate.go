@@ -100,13 +100,31 @@ func PlanMigration(st *stats.Stats, disk storage.DiskParams, w query.Workload,
 			}
 		}
 	}
+	mp.buildProblem(st, disk, w, model)
+
+	sched, err := deploy.Solve(mp.Problem, opts)
+	if err != nil {
+		return nil, err
+	}
+	mp.adoptSchedule(sched)
+	return mp, nil
+}
+
+// buildProblem constructs the deployment-scheduling instance for the
+// plan's Kept/Builds split: the kept-state base times, one deploy object
+// per build with its cheapest always-available source, and shortcuts
+// through the other builds. Shared by the solving path (PlanMigration)
+// and the journal-resume path (ResumeMigration), so both price a
+// schedule bit-identically.
+func (mp *MigrationPlan) buildProblem(st *stats.Stats, disk storage.DiskParams,
+	w query.Workload, model costmodel.Model) {
 
 	// Base state: the fact table plus every kept object.
 	nQ := len(w)
 	base := make([]float64, nQ)
 	weights := make([]float64, nQ)
 	for qi, q := range w {
-		t, _ := model.Estimate(to.Base, q)
+		t, _ := model.Estimate(mp.To.Base, q)
 		for _, md := range mp.Kept {
 			if tk, _ := model.Estimate(md, q); tk < t {
 				t = tk
@@ -148,19 +166,100 @@ func PlanMigration(st *stats.Stats, disk storage.DiskParams, w query.Workload,
 		prob.Objects = append(prob.Objects, o)
 	}
 	mp.Problem = prob
+}
 
-	sched, err := deploy.Solve(prob, opts)
-	if err != nil {
-		return nil, err
-	}
+// adoptSchedule installs a priced schedule (solved, or an explicit order
+// through deploy.Evaluate) as the plan's deployment order.
+func (mp *MigrationPlan) adoptSchedule(sched *deploy.Schedule) {
 	mp.Schedule = sched
 	mp.CumSeconds = sched.Cum
-	mp.StartRate = prob.Rate(nil)
+	mp.StartRate = mp.Problem.Rate(nil)
 	mp.FinalRate = sched.FinalRate
 	mp.Nodes = sched.Nodes
 	mp.Proven = sched.Proven
 	mp.Steps = mp.StepsFor(sched)
+}
+
+// ResumeMigration rebuilds a migration plan from a journal without
+// re-solving the schedule: to is the migration's target design (in a real
+// deployment, reloaded from the durable design catalog), and the
+// journal's kept/build keys are matched into it by structural identity.
+// The journaled order — done builds first, then the remaining plan, then
+// any skipped builds — is priced with deploy.Evaluate, so a controller
+// resumed from the returned plan follows the exact step sequence the
+// crashed controller had committed to, rather than re-deciding it.
+// Workload w supplies the rates the resumed steps are priced at (the
+// restarted monitor's view; rates affect accounting, never the order).
+// The old design's dropped objects are gone by the time a migration is in
+// flight, so the plan's From/Dropped are not reconstructed.
+func ResumeMigration(st *stats.Stats, disk storage.DiskParams, w query.Workload,
+	model costmodel.Model, to *Design, j *deploy.Journal) (*MigrationPlan, error) {
+
+	if to == nil || to.Base == nil {
+		return nil, fmt.Errorf("designer: resume target design is required")
+	}
+	if j == nil {
+		return nil, fmt.Errorf("designer: a journal is required to resume")
+	}
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	byKey := make(map[string]*costmodel.MVDesign, len(to.Chosen))
+	for _, md := range to.Chosen {
+		byKey[md.Key()] = md
+	}
+	mp := &MigrationPlan{To: to, st: st}
+	for _, k := range j.Kept {
+		md, ok := byKey[k]
+		if !ok {
+			return nil, fmt.Errorf("designer: journaled kept object %q is not in target design %s", k, to.Name)
+		}
+		mp.Kept = append(mp.Kept, md)
+	}
+	for _, k := range j.Builds {
+		md, ok := byKey[k]
+		if !ok {
+			return nil, fmt.Errorf("designer: journaled build %q is not in target design %s", k, to.Name)
+		}
+		mp.Builds = append(mp.Builds, md)
+	}
+	if got, want := len(mp.Kept)+len(mp.Builds), len(to.Chosen); got != want {
+		return nil, fmt.Errorf("designer: journal covers %d of target design's %d objects", got, want)
+	}
+	mp.buildProblem(st, disk, w, model)
+
+	// Price the journaled order end to end; indexes in the journal are
+	// positions in j.Builds, which is exactly mp.Builds' order.
+	order := make([]int, 0, len(mp.Builds))
+	order = append(order, j.Done...)
+	order = append(order, j.Next...)
+	order = append(order, j.Skipped...)
+	sched, err := deploy.Evaluate(mp.Problem, order)
+	if err != nil {
+		return nil, err
+	}
+	mp.adoptSchedule(sched)
 	return mp, nil
+}
+
+// NewJournal snapshots a freshly planned migration as a journal: nothing
+// built yet, the solved order pending. fromName labels the old design
+// ("" for a fresh deployment).
+func (mp *MigrationPlan) NewJournal(fromName string) *deploy.Journal {
+	j := &deploy.Journal{From: fromName, To: mp.To.Name}
+	for _, md := range mp.Kept {
+		j.Kept = append(j.Kept, md.Key())
+	}
+	for _, md := range mp.Dropped {
+		j.Dropped = append(j.Dropped, md.Key())
+	}
+	for _, md := range mp.Builds {
+		j.Builds = append(j.Builds, md.Key())
+	}
+	if mp.Schedule != nil {
+		j.Next = append(j.Next, mp.Schedule.Order...)
+	}
+	return j
 }
 
 // SizeAscendingOrder returns the naive comparator order a DBA would

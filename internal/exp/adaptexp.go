@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"coradd/internal/adapt"
+	"coradd/internal/costmodel"
 	"coradd/internal/deploy"
 	"coradd/internal/designer"
 	"coradd/internal/feedback"
@@ -70,6 +71,42 @@ func adaptStream(phaseA, phaseB int) (stream []*query.Query, aEvents int) {
 	return stream, aEvents
 }
 
+// adaptLoopConfig builds the controller configuration shared by the
+// adapt and chaos ablations, calibrating the monitor's half-life to the
+// stream's simulated timescale (roughly four base-mix rounds). model/d
+// supply the measurement the calibration prices the base mix with.
+func adaptLoopConfig(env *Env, budget int64, cache *designer.ObjectCache,
+	model costmodel.Model, d *designer.Design) (adapt.Config, error) {
+
+	roundSec := 0.0
+	for _, q := range env.W {
+		sec, err := adapt.MeasureTemplate(env.St, env.Common.Disk, cache, model, d, q)
+		if err != nil {
+			return adapt.Config{}, err
+		}
+		roundSec += sec
+	}
+	return adapt.Config{
+		Budget: budget,
+		Cand:   env.Scale.Cand,
+		FB:     feedback.Config{MaxIters: env.Scale.FB.MaxIters},
+		Deploy: deploy.Options{Workers: solverWorkers(), MaxNodes: solverMaxNodes()},
+		Monitor: workload.Config{
+			// The half-life spans several augmented sweeps, so the decayed
+			// distribution averages over whole mix cycles instead of
+			// chasing the round-robin position inside one.
+			HalfLife:      4 * roundSec,
+			DistThreshold: 0.25,
+			MinObserved:   2 * len(env.W),
+		},
+		CheckEvery: len(env.W),
+		// One settling period between redesigns: the EWMA needs to catch
+		// up with a shift before a second solve is worth its cost.
+		MinGap: 8 * roundSec,
+		Cache:  cache,
+	}, nil
+}
+
 // AdaptAblation reproduces the adaptive-loop story on the chrono-loaded
 // SSB scenario: the deployed design was solved for the base 13-query mix;
 // mid-run the traffic shifts to the Figure-11 augmented 52-query mix. The
@@ -102,34 +139,9 @@ func AdaptAblation(s Scale) (*AdaptResult, *Table, error) {
 
 	stream, aEvents := adaptStream(8, 8)
 
-	// The monitor's half-life is calibrated to the stream's timescale:
-	// roughly four base-mix rounds of simulated time.
-	roundSec := 0.0
-	for _, q := range env.W {
-		sec, err := adapt.MeasureTemplate(env.St, env.Common.Disk, cache, des1.Model, dBase, q)
-		if err != nil {
-			return nil, nil, err
-		}
-		roundSec += sec
-	}
-	cfg := adapt.Config{
-		Budget: budget,
-		Cand:   env.Scale.Cand,
-		FB:     feedback.Config{MaxIters: env.Scale.FB.MaxIters},
-		Deploy: deploy.Options{Workers: solverWorkers(), MaxNodes: solverMaxNodes()},
-		Monitor: workload.Config{
-			// The half-life spans several augmented sweeps, so the decayed
-			// distribution averages over whole mix cycles instead of
-			// chasing the round-robin position inside one.
-			HalfLife:      4 * roundSec,
-			DistThreshold: 0.25,
-			MinObserved:   2 * len(env.W),
-		},
-		CheckEvery: len(env.W),
-		// One settling period between redesigns: the EWMA needs to catch
-		// up with a shift before a second solve is worth its cost.
-		MinGap: 8 * roundSec,
-		Cache:  cache,
+	cfg, err := adaptLoopConfig(env, budget, cache, des1.Model, dBase)
+	if err != nil {
+		return nil, nil, err
 	}
 	ctl, err := adapt.New(env.Common, dBase, cfg)
 	if err != nil {

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"coradd/internal/apb"
 	"coradd/internal/designer"
 	"coradd/internal/ilp"
@@ -34,7 +36,10 @@ func NewAPBEnv(s Scale) *Env {
 		Common: designer.Common{
 			St: st, W: w, Disk: storage.DefaultDiskParams(),
 			PKCols: apb.PKCols(rel.Schema), BaseKey: rel.ClusterKey,
-			Solve: ilp.SolveOptions{Workers: solverWorkers(), MaxNodes: solverMaxNodes()},
+			Solve: ilp.SolveOptions{
+				Workers: solverWorkers(), MaxNodes: solverMaxNodes(),
+				TimeLimit: solverTimeLimit(),
+			},
 		},
 	}
 }
@@ -151,6 +156,7 @@ func runComparison(env *Env, withNaive bool) ([]ComparisonPoint, *Table, error) 
 	}
 
 	var pts []ComparisonPoint
+	unproven := 0
 	for i, budget := range budgets {
 		p := ComparisonPoint{
 			Budget:          budget,
@@ -161,7 +167,16 @@ func runComparison(env *Env, withNaive bool) ([]ComparisonPoint, *Table, error) 
 			CORADDNodes:     runs[i].dc.SolverNodes,
 			CORADDProven:    runs[i].dc.SolverProven,
 		}
-		row := []string{mb(budget), f3(p.CORADD), f3(p.CORADDModel), f3(p.Commercial), f3(p.CommercialModel)}
+		// An unproven selection (node cap or CORADD_SOLVER_TIMELIMIT hit)
+		// is still the solver's best incumbent, but the row must say so:
+		// a capped solve silently printed as if optimal would overstate
+		// the comparison.
+		coraddCell := f3(p.CORADD)
+		if !p.CORADDProven {
+			coraddCell += "*"
+			unproven++
+		}
+		row := []string{mb(budget), coraddCell, f3(p.CORADDModel), f3(p.Commercial), f3(p.CommercialModel)}
 		if withNaive {
 			p.Naive = results[i].rn.Total
 			row = append(row, f3(p.Naive))
@@ -173,6 +188,11 @@ func runComparison(env *Env, withNaive bool) ([]ComparisonPoint, *Table, error) 
 		row = append(row, f2(speedup))
 		t.Rows = append(t.Rows, row)
 		pts = append(pts, p)
+	}
+	if unproven > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"* %d of %d CORADD selections unproven: best incumbent at the node/time budget, optimality not certified",
+			unproven, len(budgets)))
 	}
 	return pts, t, nil
 }

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"coradd/internal/candgen"
 	"coradd/internal/designer"
@@ -170,6 +171,45 @@ func solverMaxNodes() int {
 	return 0
 }
 
+// solverTimeLimitEnv names the wall-clock solve deadline override.
+const solverTimeLimitEnv = "CORADD_SOLVER_TIMELIMIT"
+
+// ParseSolverTimeLimit validates a CORADD_SOLVER_TIMELIMIT value: a
+// positive time.ParseDuration string ("30s", "2m", "1h30m"). Zero,
+// negative and garbage values are errors — an operator typo must fail
+// loudly, not silently run with unlimited solves that mask the intent
+// (the ParseCacheBytes contract; unlike CORADD_SOLVER_WORKERS and
+// CORADD_SOLVER_MAXNODES, which predate it and ignore garbage).
+func ParseSolverTimeLimit(v string) (time.Duration, error) {
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("%s=%q: not a duration (want e.g. \"30s\", \"2m\"): %v", solverTimeLimitEnv, v, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("%s=%q: deadline must be positive (unset it for unlimited)", solverTimeLimitEnv, v)
+	}
+	return d, nil
+}
+
+// solverTimeLimit reads the CORADD_SOLVER_TIMELIMIT override: a wall-clock
+// deadline for every exact solve the experiment drivers run (unset means
+// none). A triggered deadline keeps the solver's incumbent and marks the
+// solve unproven — runComparison flags such rows — and is intentionally
+// nondeterministic, trading reproducibility for a bounded wall time on
+// the big -full instances. An invalid value panics with the
+// ParseSolverTimeLimit error.
+func solverTimeLimit() time.Duration {
+	v := os.Getenv(solverTimeLimitEnv)
+	if v == "" {
+		return 0
+	}
+	d, err := ParseSolverTimeLimit(v)
+	if err != nil {
+		panic("exp: " + err.Error())
+	}
+	return d
+}
+
 // NewSSBEnv generates the SSB environment; augmented selects the 52-query
 // workload.
 func NewSSBEnv(s Scale, augmented bool) *Env {
@@ -202,7 +242,10 @@ func newSSBEnv(s Scale, augmented, chrono bool) *Env {
 		Common: designer.Common{
 			St: st, W: w, Disk: storage.DefaultDiskParams(),
 			PKCols: ssb.PKCols(rel.Schema), BaseKey: rel.ClusterKey,
-			Solve: ilp.SolveOptions{Workers: solverWorkers(), MaxNodes: solverMaxNodes()},
+			Solve: ilp.SolveOptions{
+				Workers: solverWorkers(), MaxNodes: solverMaxNodes(),
+				TimeLimit: solverTimeLimit(),
+			},
 		},
 	}
 }

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParseSolverTimeLimit pins the CORADD_SOLVER_TIMELIMIT validation:
+// positive durations parse; zero, negatives and garbage are rejected with
+// a clear error instead of a silent fallback (the ParseCacheBytes
+// contract, unlike the lenient CORADD_SOLVER_WORKERS/MAXNODES readers).
+func TestParseSolverTimeLimit(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"30s", 30 * time.Second, true},
+		{"2m", 2 * time.Minute, true},
+		{"1h30m", 90 * time.Minute, true},
+		{"250ms", 250 * time.Millisecond, true},
+		{"0", 0, false},
+		{"0s", 0, false},
+		{"-30s", 0, false},
+		{"", 0, false},
+		{"30", 0, false},
+		{"lots", 0, false},
+		{"30 s", 0, false},
+	} {
+		got, err := ParseSolverTimeLimit(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseSolverTimeLimit(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseSolverTimeLimit(%q) accepted, want error", tc.in)
+		}
+	}
+}
+
+// TestSolverTimeLimitEnv: a valid override is honored, unset means no
+// deadline, and a malformed one must fail loudly at env construction.
+func TestSolverTimeLimitEnv(t *testing.T) {
+	t.Setenv(solverTimeLimitEnv, "")
+	if d := solverTimeLimit(); d != 0 {
+		t.Fatalf("unset: solverTimeLimit() = %v, want 0", d)
+	}
+	t.Setenv(solverTimeLimitEnv, "45s")
+	if d := solverTimeLimit(); d != 45*time.Second {
+		t.Fatalf("valid override ignored: solverTimeLimit() = %v, want 45s", d)
+	}
+	for _, bad := range []string{"0s", "-1m", "fast", "30"} {
+		t.Setenv(solverTimeLimitEnv, bad)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s=%q: solverTimeLimit did not panic", solverTimeLimitEnv, bad)
+				}
+			}()
+			solverTimeLimit()
+		}()
+	}
+}

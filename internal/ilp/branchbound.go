@@ -36,6 +36,15 @@ type SolveOptions struct {
 	// TimeLimit caps wall time; 0 means none. A triggered time limit is the
 	// one intentionally nondeterministic cutoff (Proven reports it).
 	TimeLimit time.Duration
+	// Interrupt, when non-nil, is polled once per explored node with the
+	// current node count and aborts the search (keeping the incumbent,
+	// Proven=false) when it returns true — the deterministic analogue of
+	// TimeLimit. internal/fault injects solve deadlines through it: a
+	// node-count predicate fires at the identical node on every replay,
+	// where a wall-clock limit would not. In parallel mode the predicate
+	// sees per-subtree node counts (matching MaxNodes semantics) and must
+	// be safe for concurrent calls.
+	Interrupt func(nodes int) bool
 	// Workers selects deterministic parallel subtree search when > 1; 0 or
 	// 1 keeps the sequential depth-first search (the 1-CPU default). For a
 	// fixed (problem, Workers) pair results are bit-identical run to run,
@@ -62,7 +71,7 @@ type SolveOptions struct {
 // start struct equality check against SolveOptions{}, which a slice field
 // no longer permits).
 func (o *SolveOptions) IsZero() bool {
-	return o.MaxNodes == 0 && o.TimeLimit == 0 && o.Workers == 0 &&
+	return o.MaxNodes == 0 && o.TimeLimit == 0 && o.Workers == 0 && o.Interrupt == nil &&
 		len(o.WarmStart) == 0 && !o.NoPreprocess && !o.NoLagrangian && !o.NoPolish
 }
 
@@ -122,6 +131,7 @@ func Solve(p *Problem, opts SolveOptions) *Solution {
 	}
 
 	s := newSolver(rp, order, maxNodes, deadline)
+	s.interrupt = opts.Interrupt
 	s.bestObj = incObj
 	s.bestChosen = incChosen
 	if !opts.NoLagrangian {
@@ -146,9 +156,10 @@ type solver struct {
 	p        *Problem
 	order    []int
 	perQ     [][]int
-	nQ       int
-	maxNodes int
-	deadline time.Time
+	nQ        int
+	maxNodes  int
+	deadline  time.Time
+	interrupt func(nodes int) bool
 
 	// perQTimes[q][r] is the runtime of candidate perQ[q][r] on q; weights
 	// and sizes are the dense forms of Problem.weight and Candidate.Size.
@@ -284,7 +295,8 @@ func (s *solver) dfs(pos int, usedSize int64, bestTimes []float64, cur float64, 
 		return
 	}
 	s.nodes++
-	if s.nodes > s.maxNodes || (!s.deadline.IsZero() && s.nodes%1024 == 0 && time.Now().After(s.deadline)) {
+	if s.nodes > s.maxNodes || (!s.deadline.IsZero() && s.nodes%1024 == 0 && time.Now().After(s.deadline)) ||
+		(s.interrupt != nil && s.interrupt(s.nodes)) {
 		s.proven = false
 		return
 	}

@@ -218,6 +218,38 @@ func TestTimeLimitReturnsIncumbent(t *testing.T) {
 	}
 }
 
+// TestInterruptDeterministicCutoff pins the deterministic-deadline
+// contract: an Interrupt predicate keyed on node count cuts the search at
+// the identical node on every run, returning a feasible unproven
+// incumbent, and two interrupted solves of the same instance are
+// bit-identical — the property wall-clock TimeLimit cannot offer, and the
+// one internal/fault relies on to inject solve timeouts replayably.
+func TestInterruptDeterministicCutoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := randomProblem(rng, 60, 20)
+	full := Solve(p, SolveOptions{})
+	if !full.Proven || full.Nodes < 100 {
+		t.Skipf("instance too easy to interrupt (%d nodes)", full.Nodes)
+	}
+	cut := func() *Solution {
+		return Solve(p, SolveOptions{Interrupt: func(nodes int) bool { return nodes >= full.Nodes/4 }})
+	}
+	a, b := cut(), cut()
+	if a == nil || !p.Feasible(a.Chosen) {
+		t.Fatal("interrupted solve returned no feasible incumbent")
+	}
+	if a.Proven {
+		t.Error("interrupted solve claimed a proven optimum")
+	}
+	if a.Objective != b.Objective || a.Nodes != b.Nodes || !sameSet(a.Chosen, b.Chosen) {
+		t.Errorf("interrupted solves diverged: (%v,%d,%v) vs (%v,%d,%v)",
+			a.Objective, a.Nodes, a.Chosen, b.Objective, b.Nodes, b.Chosen)
+	}
+	if a.Objective < full.Objective-1e-12 {
+		t.Errorf("interrupted objective %v beats the proven optimum %v", a.Objective, full.Objective)
+	}
+}
+
 func TestObjectiveAndSizeHelpers(t *testing.T) {
 	p := &Problem{
 		Base: []float64{10},

@@ -116,7 +116,7 @@ func (s *solver) solveParallel(workers int) {
 func (s *solver) task(incumbent float64) *solver {
 	t := &solver{
 		p: s.p, order: s.order, perQ: s.perQ, nQ: s.nQ,
-		maxNodes: s.maxNodes, deadline: s.deadline,
+		maxNodes: s.maxNodes, deadline: s.deadline, interrupt: s.interrupt,
 		perQTimes: s.perQTimes, weights: s.weights, sizes: s.sizes,
 		lag:      s.lag,
 		frontier: -1,

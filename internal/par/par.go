@@ -16,10 +16,48 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// WorkerPanic is the value ForEach re-panics with when one or more fn(i)
+// calls panicked: the lowest panicking index, its original panic value and
+// the stack captured at the panic site. A worker panic would otherwise
+// crash the process with a goroutine trace pointing into the pool instead
+// of the caller; wrapping lets a boundary (e.g. adapt.Controller.Process)
+// recover it and turn one poisoned work item into an error.
+type WorkerPanic struct {
+	// Index is the lowest i whose fn(i) panicked.
+	Index int
+	// Value is fn(Index)'s original panic value.
+	Value any
+	// Stack is the goroutine stack captured where fn(Index) panicked.
+	Stack []byte
+}
+
+// Error makes a recovered WorkerPanic usable as an error.
+func (p *WorkerPanic) Error() string { return p.String() }
+
+// String renders the panic with its original stack.
+func (p *WorkerPanic) String() string {
+	return fmt.Sprintf("par: fn(%d) panicked: %v\n\noriginal stack:\n%s", p.Index, p.Value, p.Stack)
+}
+
+// call runs fn(i), capturing a panic into panics[i] instead of unwinding
+// the worker. Every index still runs (matching ForEachErr's
+// no-short-circuit rule), so side effects like cache fills stay
+// deterministic even on a panicking input.
+func call(fn func(i int), i int, panics []*WorkerPanic) {
+	defer func() {
+		if r := recover(); r != nil {
+			panics[i] = &WorkerPanic{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn(i)
+}
 
 // DefaultWorkers is the pool width used when a call site does not override
 // it: one worker per available CPU.
@@ -29,6 +67,13 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // (workers <= 0 selects DefaultWorkers). It returns when all calls have
 // finished. For n <= 1 or a single worker it degrades to a plain loop —
 // callers never pay goroutine overhead for trivial fan-outs.
+//
+// Panics: a panicking fn(i) does not crash the process from inside the
+// pool. Every index still runs, and ForEach then re-panics on the CALLER
+// goroutine with a *WorkerPanic carrying the lowest panicking index, the
+// original panic value and the stack captured at the panic site — the
+// same panic a sequential loop ordered by index would have surfaced
+// first, so the surfaced failure is deterministic at any worker count.
 //
 // Claim order is part of the contract: indexes are handed to workers in
 // ascending order (a shared atomic counter), so when fn(i) starts, every
@@ -45,28 +90,34 @@ func ForEach(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	panics := make([]*WorkerPanic, n)
 	if n == 1 || workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			call(fn, i, panics)
 		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					call(fn, i, panics)
 				}
-				fn(i)
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
 }
 
 // ForEachErr is ForEach for fallible work: every fn(i) runs (no

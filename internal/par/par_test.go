@@ -67,6 +67,49 @@ func TestForEachErrRunsAllDespiteFailures(t *testing.T) {
 	}
 }
 
+// TestForEachRecoversWorkerPanics pins the panic contract: a panicking
+// fn(i) surfaces on the caller goroutine as a *WorkerPanic carrying the
+// LOWEST panicking index, its original value and the panic-site stack —
+// identically at every worker count — and every other index still runs.
+func TestForEachRecoversWorkerPanics(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		n := 50
+		var ran int64
+		var got *WorkerPanic
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: no panic surfaced", workers)
+				}
+				wp, ok := r.(*WorkerPanic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *WorkerPanic", workers, r)
+				}
+				got = wp
+			}()
+			ForEach(n, workers, func(i int) {
+				atomic.AddInt64(&ran, 1)
+				if i%11 == 5 {
+					panic(fmt.Sprintf("poisoned %d", i))
+				}
+			})
+		}()
+		if got.Index != 5 {
+			t.Errorf("workers=%d: surfaced index %d, want the lowest (5)", workers, got.Index)
+		}
+		if want := "poisoned 5"; got.Value != want {
+			t.Errorf("workers=%d: surfaced value %v, want %q", workers, got.Value, want)
+		}
+		if len(got.Stack) == 0 {
+			t.Errorf("workers=%d: no captured stack", workers)
+		}
+		if ran != int64(n) {
+			t.Errorf("workers=%d: ran %d of %d despite panic (no short-circuit allowed)", workers, ran, n)
+		}
+	}
+}
+
 // TestForEachDeterministicSlots exercises the positional-result contract
 // under the race detector: concurrent writers each own one slot, and the
 // assembled result must equal the sequential one.

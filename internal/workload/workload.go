@@ -227,10 +227,14 @@ type Monitor struct {
 	baseRatio     float64 // cost ratio at the last Rebase (0 = unknown)
 }
 
-// New builds a monitor; clock must be non-nil and non-decreasing.
-func New(cfg Config, clock Clock) *Monitor {
+// New builds a monitor; clock must be non-nil and non-decreasing. A nil
+// clock is a configuration error, not a programming invariant — a library
+// entry point must not panic on bad config, so it is reported as an error
+// (the internal invariant that a constructed Monitor always has a clock
+// lives in now()).
+func New(cfg Config, clock Clock) (*Monitor, error) {
 	if clock == nil {
-		panic("workload: a Clock is required")
+		return nil, fmt.Errorf("workload: a Clock is required (inject a simulated clock for deterministic replays)")
 	}
 	cfg.fill()
 	return &Monitor{
@@ -238,7 +242,17 @@ func New(cfg Config, clock Clock) *Monitor {
 		clock:     clock,
 		fp:        make(map[*query.Query]string),
 		templates: make(map[string]*template),
+	}, nil
+}
+
+// now reads the monitor's clock, keeping the constructor's invariant: a
+// Monitor only exists with a clock, so a nil one here is a corrupted
+// value (not bad config) and still panics.
+func (m *Monitor) now() float64 {
+	if m.clock == nil {
+		panic("workload: Monitor used without a clock (not built by New)")
 	}
+	return m.clock()
 }
 
 // fpMemoLimit bounds the pointer memo. When a caller feeds a fresh
@@ -328,7 +342,7 @@ func (m *Monitor) decay(dt float64) float64 {
 // Observe records one executed query instance at the current clock time.
 func (m *Monitor) Observe(q *query.Query) {
 	key := m.fingerprintOf(q)
-	t := m.clock()
+	t := m.now()
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -433,7 +447,7 @@ func (m *Monitor) sharesLocked(t float64) map[string]float64 {
 // first-seen instance), so callers may hold them across later stream
 // mutation. This is the workload a redesign solves for.
 func (m *Monitor) Snapshot() query.Workload {
-	t := m.clock()
+	t := m.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make(query.Workload, 0, len(m.order))
@@ -451,7 +465,7 @@ func (m *Monitor) Snapshot() query.Workload {
 
 // Templates reports the table in first-seen order at the current clock.
 func (m *Monitor) Templates() []TemplateInfo {
-	t := m.clock()
+	t := m.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	shares := m.sharesLocked(t)
@@ -484,7 +498,7 @@ func (m *Monitor) Templates() []TemplateInfo {
 // later), and the decayed cost sums restart from an exact recomputation.
 // cost may be nil to keep the previous cost function.
 func (m *Monitor) Rebase(cost CostFn) {
-	t := m.clock()
+	t := m.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if cost != nil {
@@ -544,11 +558,52 @@ func (m *Monitor) PrimeBaseline(w query.Workload) {
 	}
 }
 
+// PrimeRates seeds the template table with an assumed workload before any
+// traffic arrives: each query becomes a template whose decayed rate
+// starts at its effective weight, valued at the current clock (queries
+// sharing a template merge; existing templates are left alone). A monitor
+// rebuilt after a crash and primed with the crashed monitor's snapshot —
+// whose weights ARE its decayed rates — continues the old EWMA trajectory
+// instead of slamming to the first few post-restart observations, which
+// would read as spurious drift. Follow with Rebase to anchor the drift
+// baseline and cost sums on the seeded table.
+func (m *Monitor) PrimeRates(w query.Workload) {
+	t := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, q := range w {
+		wt := q.EffectiveWeight()
+		if wt <= 0 {
+			continue
+		}
+		key := Fingerprint(q)
+		if tp, ok := m.templates[key]; ok {
+			tp.rate = tp.rateAt(t, m.cfg.HalfLife) + wt
+			tp.at = t
+			continue
+		}
+		tp := &template{
+			key:   key,
+			rep:   q,
+			rate:  wt,
+			at:    t,
+			first: m.observed,
+			ring:  make([]Binding, 0, m.cfg.Reservoir),
+		}
+		if m.costFn != nil {
+			tp.cur, tp.lb = m.costFn(q)
+		}
+		m.templates[key] = tp
+		m.order = append(m.order, tp)
+		m.evictLocked(t)
+	}
+}
+
 // CostSums exposes the decayed Σ rate·cost pair behind the cost-ratio
 // signal, decayed to the current clock — for telemetry and for the
 // property test pinning the incremental maintenance to a recomputation.
 func (m *Monitor) CostSums() (cur, lb float64) {
-	t := m.clock()
+	t := m.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	f := m.decay(t - m.sumAt)
@@ -559,7 +614,7 @@ func (m *Monitor) CostSums() (cur, lb float64) {
 // deterministic: it depends only on the observation history and the
 // injected clock.
 func (m *Monitor) Drift() DriftReport {
-	t := m.clock()
+	t := m.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 

@@ -15,6 +15,26 @@ type fakeClock struct{ t float64 }
 
 func (c *fakeClock) now() float64 { return c.t }
 
+// mustNew builds a monitor or fails the test.
+func mustNew(t *testing.T, cfg Config, clock Clock) *Monitor {
+	t.Helper()
+	m, err := New(cfg, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestNewRejectsNilClock pins the config-error contract: a nil clock is
+// reported as an error, not a panic — a library entry point must not
+// crash the embedding process on bad configuration.
+func TestNewRejectsNilClock(t *testing.T) {
+	m, err := New(Config{}, nil)
+	if err == nil || m != nil {
+		t.Fatalf("New(cfg, nil) = %v, %v; want nil monitor and an error", m, err)
+	}
+}
+
 func q1() *query.Query {
 	return &query.Query{
 		Name: "A", Fact: "f",
@@ -60,7 +80,7 @@ func TestFingerprintNormalizesLiterals(t *testing.T) {
 
 func TestEWMADecayHalvesAtHalfLife(t *testing.T) {
 	clk := &fakeClock{}
-	m := New(Config{HalfLife: 10}, clk.now)
+	m := mustNew(t, Config{HalfLife: 10}, clk.now)
 	m.Observe(q1())
 	clk.t = 10
 	info := m.Templates()
@@ -79,7 +99,7 @@ func TestEWMADecayHalvesAtHalfLife(t *testing.T) {
 
 func TestReservoirKeepsMostRecentBindings(t *testing.T) {
 	clk := &fakeClock{}
-	m := New(Config{Reservoir: 3}, clk.now)
+	m := mustNew(t, Config{Reservoir: 3}, clk.now)
 	for i := 0; i < 7; i++ {
 		clk.t = float64(i)
 		q := q1()
@@ -102,7 +122,7 @@ func TestReservoirKeepsMostRecentBindings(t *testing.T) {
 
 func TestSnapshotWeightsAreDecayedRates(t *testing.T) {
 	clk := &fakeClock{}
-	m := New(Config{HalfLife: 10}, clk.now)
+	m := mustNew(t, Config{HalfLife: 10}, clk.now)
 	a := q1()
 	b := q1()
 	b.Name = "B"
@@ -131,7 +151,7 @@ func TestSnapshotWeightsAreDecayedRates(t *testing.T) {
 
 func TestDriftDistanceAndCostRatio(t *testing.T) {
 	clk := &fakeClock{}
-	m := New(Config{HalfLife: 1e9, MinObserved: 1, DistThreshold: 0.4, CostRatioThreshold: 2}, clk.now)
+	m := mustNew(t, Config{HalfLife: 1e9, MinObserved: 1, DistThreshold: 0.4, CostRatioThreshold: 2}, clk.now)
 	a := q1()
 	b := q1()
 	b.Name = "B"
@@ -184,7 +204,7 @@ func TestDriftDistanceAndCostRatio(t *testing.T) {
 
 func TestMinObservedGatesDrift(t *testing.T) {
 	clk := &fakeClock{}
-	m := New(Config{MinObserved: 50, DistThreshold: 0.1}, clk.now)
+	m := mustNew(t, Config{MinObserved: 50, DistThreshold: 0.1}, clk.now)
 	a := q1()
 	m.Observe(a)
 	m.Rebase(nil)
@@ -209,7 +229,7 @@ func TestMinObservedGatesDrift(t *testing.T) {
 // to the Σ rate·cost recomputation over the template table.
 func TestIncrementalCostSumsMatchRecomputation(t *testing.T) {
 	clk := &fakeClock{}
-	m := New(Config{HalfLife: 7}, clk.now)
+	m := mustNew(t, Config{HalfLife: 7}, clk.now)
 	pool := ssb.Queries()
 	m.Rebase(func(q *query.Query) (float64, float64) {
 		return 2 + float64(len(q.Predicates)), 1 + float64(len(q.Targets))
@@ -234,7 +254,7 @@ func TestIncrementalCostSumsMatchRecomputation(t *testing.T) {
 
 func TestMaxTemplatesEvictsLowestRate(t *testing.T) {
 	clk := &fakeClock{}
-	m := New(Config{HalfLife: 10, MaxTemplates: 2}, clk.now)
+	m := mustNew(t, Config{HalfLife: 10, MaxTemplates: 2}, clk.now)
 	mk := func(name string, targets ...string) *query.Query {
 		q := q1()
 		q.Name = name
@@ -265,7 +285,7 @@ func TestTemplatingDeterminism(t *testing.T) {
 	aug := ssb.AugmentedQueries()
 	run := func() ([]TemplateInfo, []DriftReport, query.Workload) {
 		clk := &fakeClock{}
-		m := New(Config{HalfLife: 3, Reservoir: 4, MinObserved: 8, DistThreshold: 0.2}, clk.now)
+		m := mustNew(t, Config{HalfLife: 3, Reservoir: 4, MinObserved: 8, DistThreshold: 0.2}, clk.now)
 		m.Rebase(func(q *query.Query) (float64, float64) {
 			return float64(2 + len(q.Predicates)), 1
 		})
@@ -308,5 +328,61 @@ func TestTemplatingDeterminism(t *testing.T) {
 	}
 	if last.Fresh == 0 {
 		t.Error("no fresh templates after the augmented shift")
+	}
+}
+
+// TestPrimeRatesContinuesEWMA: a monitor primed with another monitor's
+// snapshot starts from that snapshot's decayed rates — Snapshot round-trips
+// — and, after Rebase, steady traffic matching the snapshot reads as zero
+// drift. This is the resume-after-crash contract: a restarted monitor
+// continues the crashed monitor's trajectory instead of slamming to its
+// first few observations.
+func TestPrimeRatesContinuesEWMA(t *testing.T) {
+	clk := &fakeClock{}
+	cfg := Config{HalfLife: 10, MinObserved: 1}
+
+	// Source monitor observes a skewed mix.
+	src := mustNew(t, cfg, clk.now)
+	a, b := q1(), q1()
+	b.Name = "B"
+	b.Targets = []string{"w"}
+	for i := 0; i < 9; i++ {
+		src.Observe(a)
+	}
+	src.Observe(b)
+	snap := src.Snapshot()
+
+	// Restarted monitor primed with the snapshot reproduces its rates.
+	dst := mustNew(t, cfg, clk.now)
+	dst.PrimeRates(snap)
+	dst.Rebase(nil)
+	got := dst.Snapshot()
+	if len(got) != len(snap) {
+		t.Fatalf("primed snapshot has %d templates, want %d", len(got), len(snap))
+	}
+	for i := range snap {
+		if math.Abs(got[i].Weight-snap[i].Weight) > 1e-12 {
+			t.Errorf("template %d rate %v, want %v", i, got[i].Weight, snap[i].Weight)
+		}
+	}
+
+	// Steady traffic in the snapshot's proportions stays un-drifted.
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 9; i++ {
+			dst.Observe(a)
+			clk.t += 0.01
+		}
+		dst.Observe(b)
+		clk.t += 0.01
+	}
+	if rep := dst.Drift(); rep.Drifted || rep.Distance > 0.1 {
+		t.Errorf("steady mix drifted on a primed monitor: %s", rep)
+	}
+
+	// Priming an existing template adds to its live rate, not a duplicate.
+	n := dst.Len()
+	dst.PrimeRates(snap)
+	if dst.Len() != n {
+		t.Errorf("re-priming created duplicate templates (%d -> %d)", n, dst.Len())
 	}
 }
