@@ -25,7 +25,10 @@
 //	                        (deterministic; results identical to the
 //	                        sequential default, only wall time changes —
 //	                        useful on multi-core hardware, idle on 1-CPU
-//	                        runners)
+//	                        runners). A non-negative integer; 0/unset = the
+//	                        sequential search. Negative or non-integer
+//	                        values are rejected at startup — see
+//	                        exp.ParseSolverWorkers.
 //	CORADD_SOLVER_MAXNODES  branch-and-bound node cap per exact solve
 //	                        (0/unset = the 5M default, negative =
 //	                        unlimited — the off-runner escape hatch for

@@ -31,11 +31,13 @@ import (
 	"coradd/internal/costmodel"
 	"coradd/internal/deploy"
 	"coradd/internal/designer"
+	"coradd/internal/durable"
 	"coradd/internal/exec"
 	"coradd/internal/fault"
 	"coradd/internal/feedback"
 	"coradd/internal/query"
 	"coradd/internal/schema"
+	"coradd/internal/server"
 	"coradd/internal/ssb"
 	"coradd/internal/stats"
 	"coradd/internal/storage"
@@ -128,12 +130,50 @@ type (
 	// resume an interrupted migration from the completed prefix
 	// (AdaptiveController.Journal, ResumeAdaptive).
 	MigrationJournal = deploy.Journal
+	// Checkpoint is the adaptive controller's persisted crash-state: the
+	// active design, the in-flight migration journal and the monitor
+	// snapshot (internal/durable). Saved with write-temp-fsync-rename and
+	// a checksum; LoadCheckpoint rejects torn or foreign files loudly.
+	Checkpoint = durable.Checkpoint
+	// Server is the durable serving daemon core (internal/server):
+	// concurrent query execution against an atomic design snapshot, panic
+	// recovery, request timeouts, token-bucket load shedding, health and
+	// readiness probes, graceful drain, and crash-state checkpointing.
+	Server = server.Server
+	// ServerConfig tunes a Server (admission rate, request timeout,
+	// checkpoint path and cadence, the adaptive tuning underneath).
+	ServerConfig = server.Config
+	// ServerStatus is the daemon's observable state (/statusz).
+	ServerStatus = server.Status
 )
 
 // ErrCrash is the injected-crash sentinel: an AdaptiveController whose
 // Process returns an error wrapping ErrCrash died mid-migration with its
 // journal intact — rebuild it with System.ResumeAdaptive.
 var ErrCrash = fault.ErrCrash
+
+// Checkpoint error sentinels: a checkpoint that failed structural or
+// checksum validation, and one written by a layout this build does not
+// read. Both demand operator attention — never a silent cold restart.
+var (
+	ErrCheckpointCorrupt = durable.ErrCorrupt
+	ErrCheckpointVersion = durable.ErrVersion
+)
+
+// CaptureCheckpoint snapshots an adaptive controller's durable state.
+// Call it from the goroutine driving the controller, never concurrently
+// with Process.
+func CaptureCheckpoint(c *AdaptiveController) (*Checkpoint, error) { return durable.Capture(c) }
+
+// SaveCheckpoint persists a checkpoint with the write-temp-fsync-rename
+// protocol: a crash mid-save leaves the previous checkpoint intact.
+func SaveCheckpoint(path string, cp *Checkpoint) error { return durable.Save(path, cp) }
+
+// LoadCheckpoint reads and validates a checkpoint. A missing file
+// returns os.ErrNotExist (a fresh start); torn, truncated, bit-flipped
+// or foreign files fail with ErrCheckpointCorrupt, unknown layout
+// versions with ErrCheckpointVersion.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return durable.Load(path) }
 
 // NewFaultInjector builds a deterministic fault injector from a schedule.
 func NewFaultInjector(cfg FaultConfig) *FaultInjector { return fault.New(cfg) }
@@ -475,6 +515,40 @@ func (s *System) ResumeAdaptive(w Workload, to *Design, j *MigrationJournal, cfg
 	common := s.coradd.Common
 	common.W = w
 	return adapt.Resume(common, to, j, cfg)
+}
+
+// ServeAdaptive assembles the durable serving daemon core over this
+// system: a Server executing catalog queries concurrently against the
+// deployed design while the adaptive controller runs on its own
+// goroutine. cp non-nil resumes from a loaded checkpoint (the design,
+// journal and monitor snapshot it carries); otherwise initial is the
+// cold-start deployed design. The returned server is started — wire
+// srv.Handler() into an http.Server and call srv.Shutdown on SIGTERM.
+// For staged boot (probes answering while data generation runs), use
+// internal/server's NewStarting/Attach directly from the daemon.
+func (s *System) ServeAdaptive(initial *Design, cp *Checkpoint, cfg ServerConfig) (*Server, error) {
+	cfg.Adapt.Cand = fillCandidateDefaults(cfg.Adapt.Cand)
+	if cfg.Adapt.FB.MaxIters == 0 {
+		cfg.Adapt.FB.MaxIters = s.coradd.Feedback.MaxIters
+	}
+	srv := server.NewStarting(cfg)
+	if cp != nil {
+		ctl, err := cp.Controller(s.coradd.Common, srv.AdaptConfig())
+		if err != nil {
+			return nil, err
+		}
+		srv.AttachResumed(s.coradd.Common, ctl)
+	} else {
+		ctl, err := adapt.New(s.coradd.Common, initial, srv.AdaptConfig())
+		if err != nil {
+			return nil, err
+		}
+		srv.Attach(s.coradd.Common, ctl)
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	return srv, nil
 }
 
 // DiscoverCorrelations runs the CORDS-style discovery pass over the fact

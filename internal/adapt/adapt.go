@@ -753,6 +753,28 @@ func (c *Controller) redesign(drift workload.DriftReport) error {
 	return nil
 }
 
+// RestartIdle rebuilds a controller after a process restart that landed
+// *between* migrations: deployed is the design that was serving at the
+// last checkpoint and common.W the checkpointed monitor snapshot. The
+// monitor is re-seeded from the snapshot (whose weights are the crashed
+// monitor's decayed rates) and the drift baseline re-anchored on it, so
+// detection continues the old trajectory instead of reading the first few
+// post-restart observations as drift. The counterpart of Resume for
+// checkpoints that carry no in-flight journal (internal/durable).
+func RestartIdle(common designer.Common, deployed *designer.Design, cfg Config) (*Controller, error) {
+	if len(common.W) == 0 {
+		return nil, fmt.Errorf("adapt: restart needs a baseline workload (the checkpointed monitor snapshot)")
+	}
+	c, err := New(common, deployed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.Mon.PrimeRates(common.W)
+	c.Mon.Rebase(c.costOf(deployed))
+	c.event(EventResume, "restarted idle on design %s: %d templates primed", deployed.Name, len(common.W))
+	return c, nil
+}
+
 // Resume rebuilds a controller from a migration journal after a crash
 // (an injected fault.ErrCrash, or a real process death whose journal
 // survived). to is the crashed migration's target design — in a real

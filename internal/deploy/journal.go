@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 )
@@ -36,17 +37,108 @@ type Journal struct {
 	Next    []int `json:"next,omitempty"`
 }
 
-// Encode renders the journal as JSON — the durable form a controller
-// would fsync per step.
-func (j *Journal) Encode() ([]byte, error) {
-	return json.Marshal(j)
+// JournalFormat tags every serialized journal so a reader never misparses
+// an unrelated JSON file as a migration journal, and JournalVersion is the
+// current layout version. A reader encountering a newer version must
+// refuse rather than misread: field semantics may have changed underneath
+// an otherwise-parsable document.
+const (
+	JournalFormat  = "coradd-journal"
+	JournalVersion = 1
+)
+
+// journalFile is the stable serialized form: the format tag and version
+// wrap the journal fields. internal/durable embeds exactly this encoding
+// inside its checkpoints, so there is one on-disk journal layout.
+//
+// Structural keys (costmodel.MVDesign.Key) are arbitrary byte strings —
+// they contain 0xff separators that are not valid UTF-8, and Go's JSON
+// encoder silently replaces such bytes with U+FFFD, corrupting the key.
+// The serialized form therefore carries every key hex-encoded; Encode/
+// DecodeJournal are lossless where a naive json.Marshal of Journal is not.
+type journalFile struct {
+	Format  string   `json:"format"`
+	Version int      `json:"version"`
+	From    string   `json:"from"`
+	To      string   `json:"to"`
+	Kept    []string `json:"kept,omitempty"`
+	Dropped []string `json:"dropped,omitempty"`
+	Builds  []string `json:"builds"`
+	Done    []int    `json:"done,omitempty"`
+	Skipped []int    `json:"skipped,omitempty"`
+	Next    []int    `json:"next,omitempty"`
 }
 
-// DecodeJournal parses and validates an encoded journal.
+func hexKeys(keys []string) []string {
+	if keys == nil {
+		return nil
+	}
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = hex.EncodeToString([]byte(k))
+	}
+	return out
+}
+
+func unhexKeys(field string, keys []string) ([]string, error) {
+	if keys == nil {
+		return nil, nil
+	}
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		b, err := hex.DecodeString(k)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: corrupt journal: %s[%d] is not a hex structural key: %v", field, i, err)
+		}
+		out[i] = string(b)
+	}
+	return out, nil
+}
+
+// Encode renders the journal in its stable serialized form (versioned,
+// format-tagged JSON, hex-encoded structural keys) — the durable
+// representation a controller fsyncs per step and internal/durable embeds
+// in checkpoints.
+func (j *Journal) Encode() ([]byte, error) {
+	return json.Marshal(journalFile{
+		Format:  JournalFormat,
+		Version: JournalVersion,
+		From:    j.From,
+		To:      j.To,
+		Kept:    hexKeys(j.Kept),
+		Dropped: hexKeys(j.Dropped),
+		Builds:  hexKeys(j.Builds),
+		Done:    j.Done,
+		Skipped: j.Skipped,
+		Next:    j.Next,
+	})
+}
+
+// DecodeJournal parses and validates an encoded journal. Documents without
+// the journal format tag, carrying an unknown version, or with undecodable
+// keys are rejected with a clear error instead of being misread as an
+// empty or torn journal.
 func DecodeJournal(data []byte) (*Journal, error) {
-	j := &Journal{}
-	if err := json.Unmarshal(data, j); err != nil {
+	var f journalFile
+	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("deploy: corrupt journal: %v", err)
+	}
+	if f.Format != JournalFormat {
+		return nil, fmt.Errorf("deploy: not a migration journal (format %q, want %q)", f.Format, JournalFormat)
+	}
+	if f.Version != JournalVersion {
+		return nil, fmt.Errorf("deploy: journal version %d is not supported (this build reads version %d); refusing to guess at its layout", f.Version, JournalVersion)
+	}
+	j := &Journal{From: f.From, To: f.To, Done: f.Done, Skipped: f.Skipped, Next: f.Next}
+	var err error
+	if j.Kept, err = unhexKeys("kept", f.Kept); err != nil {
+		return nil, err
+	}
+	if j.Dropped, err = unhexKeys("dropped", f.Dropped); err != nil {
+		return nil, err
+	}
+	if j.Builds, err = unhexKeys("builds", f.Builds); err != nil {
+		return nil, err
 	}
 	if err := j.Validate(); err != nil {
 		return nil, err

@@ -2,17 +2,21 @@ package deploy
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
 // TestJournalRoundTrip pins the durable form: Encode → DecodeJournal is
-// the identity on a well-formed journal.
+// the identity on a well-formed journal. The keys are real structural
+// keys — arbitrary bytes including the 0xff separator that is not valid
+// UTF-8 — because a naive json.Marshal silently rewrites such bytes to
+// U+FFFD; the hex key encoding exists exactly for them.
 func TestJournalRoundTrip(t *testing.T) {
 	j := &Journal{
 		From: "CORADD", To: "CORADD",
-		Kept:    []string{"k1"},
-		Dropped: []string{"d1", "d2"},
-		Builds:  []string{"b0", "b1", "b2", "b3"},
+		Kept:    []string{"\x06\x00\x0b\x00\xff\x06\x00"},
+		Dropped: []string{"\x01\x00\xff\x01\x00", "\x02\x00\xff\x02\x00"},
+		Builds:  []string{"\x03\x00\xff\x03\x00", "\x04\x00\xff\x04\x00", "\x05\x00\xff\x05\x00", "\x07\x00\xff\x07\x00\xfe"},
 		Done:    []int{2},
 		Skipped: []int{0},
 		Next:    []int{3, 1},
@@ -27,6 +31,39 @@ func TestJournalRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(j, got) {
 		t.Errorf("round trip changed the journal:\n%+v\n%+v", j, got)
+	}
+}
+
+// TestJournalFormatVersion pins the stable serialized form: the format
+// tag and version are present in the encoding, and documents with a
+// missing/foreign tag or an unknown version are rejected with an error
+// naming the problem — never misread as an empty journal.
+func TestJournalFormatVersion(t *testing.T) {
+	j := &Journal{Builds: []string{"b0"}, Next: []int{0}}
+	data, err := j.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, `"format":"coradd-journal"`) || !strings.Contains(s, `"version":1`) {
+		t.Fatalf("encoding lacks format tag or version: %s", s)
+	}
+	for name, doc := range map[string]string{
+		"no tag":         `{"builds":["b0"],"next":[0]}`,
+		"foreign tag":    `{"format":"coradd-checkpoint","version":1,"builds":["b0"],"next":[0]}`,
+		"future version": `{"format":"coradd-journal","version":99,"builds":["b0"],"next":[0]}`,
+		"non-hex key":    `{"format":"coradd-journal","version":1,"builds":["zz"],"next":[0]}`,
+		"not json":       `migration in progress`,
+		"truncated":      s[:len(s)/2],
+	} {
+		if _, err := DecodeJournal([]byte(doc)); err == nil {
+			t.Errorf("%s: DecodeJournal accepted %q", name, doc)
+		}
+	}
+	// An unknown version's error must say so, not report corruption.
+	_, err = DecodeJournal([]byte(`{"format":"coradd-journal","version":99,"builds":[]}`))
+	if err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Errorf("future-version error does not name the version: %v", err)
 	}
 }
 

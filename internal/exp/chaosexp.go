@@ -34,7 +34,7 @@ type ChaosResult struct {
 	// FreeFinal/ChaosFinal are each run's final target design;
 	// FreeMigrating/ChaosMigrating whether a migration was still in
 	// flight when the stream ended.
-	FreeFinal, ChaosFinal       *designer.Design
+	FreeFinal, ChaosFinal         *designer.Design
 	FreeMigrating, ChaosMigrating bool
 	// Faults/Retry echo the injected schedule for the report.
 	Faults fault.Config

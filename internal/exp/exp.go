@@ -143,18 +143,41 @@ func (e *Env) Budgets() []int64 {
 	return out
 }
 
+// solverWorkersEnv names the parallel-solve worker-count override.
+const solverWorkersEnv = "CORADD_SOLVER_WORKERS"
+
+// ParseSolverWorkers validates a CORADD_SOLVER_WORKERS value: a base-10
+// worker count ≥ 0, where 0 or 1 keeps the sequential search. Negative
+// and garbage values are errors — an operator typo must fail loudly, not
+// silently fall back to sequential solves that mask the intent (the
+// ParseCacheBytes/ParseSolverTimeLimit contract).
+func ParseSolverWorkers(v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("%s=%q: not a base-10 worker count: %v", solverWorkersEnv, v, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("%s=%q: worker count cannot be negative (unset it or use 0 for sequential)", solverWorkersEnv, v)
+	}
+	return n, nil
+}
+
 // solverWorkers reads the CORADD_SOLVER_WORKERS override: on multi-core
 // hardware it switches every designer's exact solves to the deterministic
 // parallel subtree search with that many workers. Unset or ≤ 1 keeps the
 // sequential search (the right default on this repo's 1-CPU runners).
-// Results are identical either way; only wall time changes.
+// Results are identical either way; only wall time changes. An invalid
+// value panics with the ParseSolverWorkers error.
 func solverWorkers() int {
-	if v := os.Getenv("CORADD_SOLVER_WORKERS"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			return n
-		}
+	v := os.Getenv(solverWorkersEnv)
+	if v == "" {
+		return 0
 	}
-	return 0
+	n, err := ParseSolverWorkers(v)
+	if err != nil {
+		panic("exp: " + err.Error())
+	}
+	return n
 }
 
 // solverMaxNodes reads the CORADD_SOLVER_MAXNODES override: the
@@ -178,8 +201,9 @@ const solverTimeLimitEnv = "CORADD_SOLVER_TIMELIMIT"
 // positive time.ParseDuration string ("30s", "2m", "1h30m"). Zero,
 // negative and garbage values are errors — an operator typo must fail
 // loudly, not silently run with unlimited solves that mask the intent
-// (the ParseCacheBytes contract; unlike CORADD_SOLVER_WORKERS and
-// CORADD_SOLVER_MAXNODES, which predate it and ignore garbage).
+// (the ParseCacheBytes/ParseSolverWorkers contract; CORADD_SOLVER_MAXNODES
+// alone remains lenient — its negative-means-unlimited convention accepts
+// every integer, so there is less to reject).
 func ParseSolverTimeLimit(v string) (time.Duration, error) {
 	d, err := time.ParseDuration(v)
 	if err != nil {

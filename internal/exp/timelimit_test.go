@@ -8,7 +8,7 @@ import (
 // TestParseSolverTimeLimit pins the CORADD_SOLVER_TIMELIMIT validation:
 // positive durations parse; zero, negatives and garbage are rejected with
 // a clear error instead of a silent fallback (the ParseCacheBytes
-// contract, unlike the lenient CORADD_SOLVER_WORKERS/MAXNODES readers).
+// contract, unlike the lenient CORADD_SOLVER_MAXNODES reader).
 func TestParseSolverTimeLimit(t *testing.T) {
 	for _, tc := range []struct {
 		in   string

@@ -1,0 +1,60 @@
+package exp
+
+import "testing"
+
+// TestParseSolverWorkers pins the CORADD_SOLVER_WORKERS validation:
+// non-negative integers parse (0/1 meaning sequential); negatives and
+// garbage are rejected with a clear error instead of silently running
+// sequential solves (the ParseCacheBytes/ParseSolverTimeLimit contract).
+func TestParseSolverWorkers(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"1", 1, true},
+		{"4", 4, true},
+		{"16", 16, true},
+		{"-1", 0, false},
+		{"-4", 0, false},
+		{"", 0, false},
+		{"four", 0, false},
+		{"4.0", 0, false},
+		{"4 ", 0, false},
+		{"0x4", 0, false},
+	} {
+		got, err := ParseSolverWorkers(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseSolverWorkers(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseSolverWorkers(%q) accepted, want error", tc.in)
+		}
+	}
+}
+
+// TestSolverWorkersEnv: a valid override is honored, unset means
+// sequential, and a malformed one must fail loudly at solve time rather
+// than silently losing the requested parallelism.
+func TestSolverWorkersEnv(t *testing.T) {
+	t.Setenv(solverWorkersEnv, "")
+	if n := solverWorkers(); n != 0 {
+		t.Fatalf("unset: solverWorkers() = %d, want 0", n)
+	}
+	t.Setenv(solverWorkersEnv, "8")
+	if n := solverWorkers(); n != 8 {
+		t.Fatalf("valid override ignored: solverWorkers() = %d, want 8", n)
+	}
+	for _, bad := range []string{"-2", "many", "2.5"} {
+		t.Setenv(solverWorkersEnv, bad)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s=%q: solverWorkers did not panic", solverWorkersEnv, bad)
+				}
+			}()
+			solverWorkers()
+		}()
+	}
+}

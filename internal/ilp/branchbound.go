@@ -153,9 +153,9 @@ func Solve(p *Problem, opts SolveOptions) *Solution {
 // construction) and the mutable search state of one depth-first search.
 // Parallel subtree search clones the mutable part per subtree (parallel.go).
 type solver struct {
-	p        *Problem
-	order    []int
-	perQ     [][]int
+	p         *Problem
+	order     []int
+	perQ      [][]int
 	nQ        int
 	maxNodes  int
 	deadline  time.Time

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxBody bounds a /query request body; a query document is small, and
+// an unbounded read is a trivial memory DoS.
+const maxBody = 1 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg})
+}
+
+// routes wires the endpoint set. Probes and status bypass admission
+// control and timeouts entirely: an overloaded daemon must still answer
+// its load balancer.
+func (s *Server) routes() {
+	probe := func(h http.HandlerFunc) http.Handler {
+		return Chain(h, s.Recover, s.RequestLog)
+	}
+	s.mux.Handle("/healthz", probe(s.handleHealthz))
+	s.mux.Handle("/readyz", probe(s.handleReadyz))
+	s.mux.Handle("/statusz", probe(s.handleStatusz))
+	s.mux.Handle("/design", probe(s.handleDesign))
+
+	queryChain := []Middleware{s.Recover, s.RequestLog, s.gate, s.Admit}
+	if s.cfg.RequestTimeout > 0 {
+		queryChain = append(queryChain, s.Timeout(s.cfg.RequestTimeout))
+	}
+	s.mux.Handle("/query", Chain(http.HandlerFunc(s.handleQuery), queryChain...))
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP. It is
+// intentionally trivial — a wedged controller must not get the process
+// killed while queries still execute against the last good snapshot.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// handleReadyz is readiness: 200 only once a controller is attached and
+// started, 503 with the lifecycle phase (starting, resuming, draining)
+// otherwise, so rolling restarts route traffic away during boot-time
+// data generation, checkpoint replay and shutdown drain.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	state := s.state.Load().(string)
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready": false, "state": state,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ready": true, "state": state, "resumed": s.resumed.Load(),
+	})
+}
+
+// handleStatusz reports the full observable state.
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// designObject is one physical object of the serving design.
+type designObject struct {
+	Name string `json:"name"`
+	// Key is the hex-encoded structural key (costmodel.MVDesign.Key is
+	// binary), the identity migration journals record builds under.
+	Key     string `json:"key"`
+	Cols    []int  `json:"cols"`
+	Cluster []int  `json:"cluster_key"`
+}
+
+// handleDesign describes the currently serving (deployed) design.
+func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
+	if sn == nil {
+		writeJSONError(w, http.StatusServiceUnavailable, "no design attached yet")
+		return
+	}
+	d := sn.design
+	objs := make([]designObject, 0, len(d.Chosen))
+	for _, md := range d.Chosen {
+		objs = append(objs, designObject{
+			Name:    md.Name,
+			Key:     hex.EncodeToString([]byte(md.Key())),
+			Cols:    md.Cols,
+			Cluster: md.ClusterKey,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":    d.Name,
+		"size":    d.Size,
+		"budget":  d.Budget,
+		"objects": objs,
+	})
+}
+
+// gate refuses queries until the server is ready — before Attach there
+// is no design to execute against, and during drain new work would race
+// shutdown.
+func (s *Server) gate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeJSONError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("not serving (%s)", s.state.Load().(string)))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleQuery executes one query against the serving snapshot. The body
+// is a JSON query document, or {"name":"Q2.1"} referencing the catalog.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST a query document")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	q, err := s.resolve(body)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sec, design, cached, err := s.execute(q)
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"query":   q.Name,
+		"design":  design,
+		"seconds": sec,
+		"cached":  cached,
+	})
+}

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Middleware wraps a handler. Chain applies the wrappers outermost-first:
+// Chain(h, a, b) runs a's checks before b's before h.
+type Middleware func(http.Handler) http.Handler
+
+// Chain composes middleware around h, first argument outermost.
+func Chain(h http.Handler, mw ...Middleware) http.Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
+	return h
+}
+
+// statusWriter captures the status code for request logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Recover turns a handler panic into a 500 and a log line instead of a
+// dead connection (and, under http.Server, a noisy stack): one poisoned
+// request poisons one response, not the daemon.
+func (s *Server) Recover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				s.logf("panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				writeJSONError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// RequestLog logs method, path, status and latency per request.
+func (s *Server) RequestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.logf("%s %s %d %.1fms", r.Method, r.URL.Path, sw.status, float64(time.Since(start).Microseconds())/1000)
+	})
+}
+
+// timeoutWriter buffers a handler's response so a late write after the
+// deadline can be discarded instead of racing the 504 (the
+// http.TimeoutHandler protocol, with a Gateway Timeout status so a shed
+// 503 and a slow 504 stay distinguishable in client metrics).
+type timeoutWriter struct {
+	mu       sync.Mutex
+	h        http.Header
+	buf      bytes.Buffer
+	status   int
+	timedOut bool
+}
+
+func (w *timeoutWriter) Header() http.Header { return w.h }
+
+func (w *timeoutWriter) WriteHeader(code int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.status == 0 {
+		w.status = code
+	}
+}
+
+func (w *timeoutWriter) Write(b []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.timedOut {
+		return 0, http.ErrHandlerTimeout
+	}
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.buf.Write(b)
+}
+
+// Timeout bounds each request's handler time. On expiry the client gets a
+// 504 immediately; the handler goroutine finishes in the background
+// (simulated query execution is not cancellable mid-plan) and its late
+// response is discarded. The goroutine is tracked by the server's
+// in-flight group so graceful shutdown still waits for it.
+func (s *Server) Timeout(d time.Duration) Middleware {
+	return func(next http.Handler) http.Handler {
+		if d <= 0 {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			tw := &timeoutWriter{h: make(http.Header)}
+			done := make(chan struct{})
+			s.inflight.Add(1)
+			go func() {
+				defer s.inflight.Done()
+				defer func() {
+					if p := recover(); p != nil {
+						s.panics.Add(1)
+						s.logf("panic serving %s %s: %v", r.Method, r.URL.Path, p)
+						tw.WriteHeader(http.StatusInternalServerError)
+					}
+					close(done)
+				}()
+				next.ServeHTTP(tw, r)
+			}()
+			select {
+			case <-done:
+				tw.mu.Lock()
+				defer tw.mu.Unlock()
+				dst := w.Header()
+				for k, v := range tw.h {
+					dst[k] = v
+				}
+				if tw.status == 0 {
+					tw.status = http.StatusOK
+				}
+				w.WriteHeader(tw.status)
+				w.Write(tw.buf.Bytes())
+			case <-time.After(d):
+				tw.mu.Lock()
+				tw.timedOut = true
+				tw.mu.Unlock()
+				s.timeouts.Add(1)
+				writeJSONError(w, http.StatusGatewayTimeout,
+					fmt.Sprintf("request exceeded %s", d))
+			}
+		})
+	}
+}
+
+// tokenBucket is the admission controller: requests take one token,
+// tokens refill at rate per second up to burst. No queue — a request that
+// finds the bucket empty is shed immediately with the time until the next
+// token, which keeps admitted-query latency bounded under overload
+// instead of letting a backlog grow without bound.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injected in tests
+}
+
+func newTokenBucket(rate, burst float64, now func() time.Time) *tokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: now(), now: now}
+}
+
+// take admits or sheds: on shed it reports how long until a token frees.
+func (b *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.now()
+	b.tokens = math.Min(b.burst, b.tokens+b.rate*t.Sub(b.last).Seconds())
+	b.last = t
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration(float64(time.Second) * (1 - b.tokens) / b.rate)
+}
+
+// Admit is the load-shedding gate in front of the query executor: over
+// the configured rate, requests get 503 + Retry-After instead of
+// queueing. RateLimit 0 disables shedding entirely. Health and status
+// endpoints are never behind it — an overloaded daemon must still
+// answer its probes.
+func (s *Server) Admit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.RateLimit <= 0 {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ok, retry := s.bucket.take()
+		if !ok {
+			s.shed.Add(1)
+			secs := int(math.Ceil(retry.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+			writeJSONError(w, http.StatusServiceUnavailable, "overloaded: admission tokens exhausted")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// bare returns a server with no controller — middleware is independent
+// of the adaptive machinery.
+func bare(cfg Config) *Server { return NewStarting(cfg) }
+
+// TestRecoverTurnsPanicsInto500: a panicking handler yields one 500
+// response, not a dead connection, and the panic counter moves.
+func TestRecoverTurnsPanicsInto500(t *testing.T) {
+	s := bare(Config{})
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("poisoned request")
+	}), s.Recover)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/x", nil))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rr.Code)
+	}
+	if s.panics.Load() != 1 {
+		t.Errorf("panic counter %d, want 1", s.panics.Load())
+	}
+}
+
+// TestTimeoutCutsSlowHandlers: the client gets a 504 at the deadline
+// while the handler finishes in the background; its late write is
+// discarded, never interleaved into the 504 response.
+func TestTimeoutCutsSlowHandlers(t *testing.T) {
+	s := bare(Config{})
+	release := make(chan struct{})
+	var wrote error
+	var mu sync.Mutex
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		_, err := w.Write([]byte("too late"))
+		mu.Lock()
+		wrote = err
+		mu.Unlock()
+	}), s.Timeout(10*time.Millisecond))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/query", nil))
+	if rr.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", rr.Code)
+	}
+	if s.timeouts.Load() != 1 {
+		t.Errorf("timeout counter %d, want 1", s.timeouts.Load())
+	}
+	close(release)
+	s.inflight.Wait() // the background handler must finish and be tracked
+	mu.Lock()
+	defer mu.Unlock()
+	if !errors.Is(wrote, http.ErrHandlerTimeout) {
+		t.Errorf("late write error = %v, want http.ErrHandlerTimeout", wrote)
+	}
+	if got := rr.Body.String(); got == "too late" {
+		t.Error("late write leaked into the 504 response")
+	}
+}
+
+// TestTimeoutPassesFastHandlers: a handler inside the deadline reaches
+// the client intact — status, headers and body.
+func TestTimeoutPassesFastHandlers(t *testing.T) {
+	s := bare(Config{})
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Fast", "yes")
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("done"))
+	}), s.Timeout(time.Second))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/x", nil))
+	if rr.Code != http.StatusTeapot || rr.Body.String() != "done" || rr.Header().Get("X-Fast") != "yes" {
+		t.Fatalf("response mangled: %d %q %q", rr.Code, rr.Body.String(), rr.Header().Get("X-Fast"))
+	}
+}
+
+// TestTokenBucket: deterministic refill against an injected clock.
+func TestTokenBucket(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := newTokenBucket(2, 3, clock) // 2 tokens/s, burst 3
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.take(); !ok {
+			t.Fatalf("burst take %d refused", i)
+		}
+	}
+	ok, retry := b.take()
+	if ok {
+		t.Fatal("empty bucket admitted a request")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry hint %v outside (0, 1s] at 2 tokens/s", retry)
+	}
+	now = now.Add(500 * time.Millisecond) // refills exactly 1 token
+	if ok, _ := b.take(); !ok {
+		t.Fatal("refilled token refused")
+	}
+	if ok, _ := b.take(); ok {
+		t.Fatal("second take admitted without refill")
+	}
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ { // refill caps at burst
+		if ok, _ := b.take(); !ok {
+			t.Fatalf("take %d after long idle refused", i)
+		}
+	}
+	if ok, _ := b.take(); ok {
+		t.Fatal("burst cap exceeded after long idle")
+	}
+}
+
+// TestAdmitShedsWith503: past the rate, requests shed with 503 +
+// Retry-After while admitted ones pass — the overload contract.
+func TestAdmitShedsWith503(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := bare(Config{RateLimit: 1, Burst: 2, Now: func() time.Time { return now }})
+	admitted := 0
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		admitted++
+		w.WriteHeader(http.StatusOK)
+	}), s.Admit)
+
+	codes := map[int]int{}
+	for i := 0; i < 10; i++ {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("POST", "/query", nil))
+		codes[rr.Code]++
+		if rr.Code == http.StatusServiceUnavailable {
+			ra := rr.Header().Get("Retry-After")
+			if ra == "" {
+				t.Fatal("503 without Retry-After")
+			}
+			if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+				t.Fatalf("Retry-After %q is not a positive integer", ra)
+			}
+		}
+	}
+	if codes[http.StatusOK] != 2 || admitted != 2 {
+		t.Errorf("admitted %d (handler saw %d), want exactly the burst of 2", codes[http.StatusOK], admitted)
+	}
+	if codes[http.StatusServiceUnavailable] != 8 {
+		t.Errorf("shed %d of 10, want 8", codes[http.StatusServiceUnavailable])
+	}
+	if s.shed.Load() != 8 {
+		t.Errorf("shed counter %d, want 8", s.shed.Load())
+	}
+}
+
+// TestChainOrder: first middleware is outermost.
+func TestChainOrder(t *testing.T) {
+	var order []string
+	mk := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		order = append(order, "handler")
+	}), mk("a"), mk("b"))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "handler" {
+		t.Fatalf("execution order %v", order)
+	}
+}
+
+// TestLifecycleGates: a starting server answers liveness, refuses
+// readiness and refuses queries — the staged-boot contract.
+func TestLifecycleGates(t *testing.T) {
+	s := NewStarting(Config{})
+	get := func(path string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		return rr
+	}
+	if rr := get("/healthz"); rr.Code != http.StatusOK {
+		t.Errorf("healthz %d during boot, want 200", rr.Code)
+	}
+	if rr := get("/readyz"); rr.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz %d during boot, want 503", rr.Code)
+	}
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("POST", "/query", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Errorf("query %d during boot, want 503", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Error("boot-time query refusal lacks Retry-After")
+	}
+	if err := s.Start(); err == nil {
+		t.Error("Start before Attach did not fail")
+	}
+}
