@@ -172,3 +172,12 @@ func BenchmarkAblationChaos(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkAblationServing(b *testing.B) {
+	s := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exp.ServingLatency(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

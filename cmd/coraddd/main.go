@@ -9,15 +9,27 @@
 //	coraddd [-addr :8372] [-checkpoint path] [-rows n] [-budget mult]
 //	        [-rate qps] [-burst n] [-req-timeout d] [-drain d]
 //	        [-halflife s] [-checkevery n] [-crash-after-builds 1,3]
+//	        [-pprof]
 //
 // Endpoints:
 //
 //	POST /query    execute a query: a JSON query document, or
 //	               {"name":"Q2.1"} referencing the SSB catalog
 //	GET  /design   the currently serving design (objects by structural key)
-//	GET  /statusz  controller and serving counters
+//	GET  /statusz  controller and serving counters, plus the tail of the
+//	               structured event trace (drift checks, solves, builds)
+//	GET  /metrics  Prometheus text exposition: per-route request-latency
+//	               histograms, shed/timeout/panic counters, controller and
+//	               solver telemetry, ObjectCache stats
 //	GET  /healthz  liveness (the process is up)
 //	GET  /readyz   readiness (503 while starting, resuming or draining)
+//	GET  /debug/pprof/  net/http/pprof, only with -pprof
+//
+// Observability: /metrics is always on (the registry costs atomic
+// upticks); scrape it with any Prometheus-compatible collector — the
+// shed/timeout/drop counters are monotonic, so rate() works across
+// scrapes. pprof is opt-in via -pprof because profiling endpoints expose
+// stacks and heap contents on the serving port.
 //
 // Durability: with -checkpoint, the daemon persists the controller's
 // crash-state (active design, in-flight migration journal, monitor
@@ -61,6 +73,7 @@ import (
 	"coradd/internal/exp"
 	"coradd/internal/fault"
 	"coradd/internal/feedback"
+	"coradd/internal/obs"
 	"coradd/internal/server"
 	"coradd/internal/workload"
 )
@@ -78,6 +91,7 @@ func main() {
 	checkEvery := flag.Int("checkevery", 13, "drift-check cadence in observations")
 	minObserved := flag.Int("minobserved", 13, "observations before drift detection engages")
 	crashAfter := flag.String("crash-after-builds", "", "comma-separated completed-build ordinals to crash after (testing hook)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes stacks and heap contents)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"coraddd: durable CORADD serving daemon\n\nFlags:\n")
@@ -107,6 +121,9 @@ func main() {
 		Burst:          *burst,
 		RequestTimeout: *reqTimeout,
 		Log:            logger,
+		Metrics:        obs.NewRegistry(),
+		Trace:          obs.NewTracer(obs.DefaultTraceEvents),
+		Pprof:          *pprofOn,
 		Adapt: adapt.Config{
 			Cand: scale.Cand,
 			FB:   feedback.Config{MaxIters: 1},

@@ -7,8 +7,8 @@
 //	experiments [-full] [-chrono] [-run id] [-ssbrows n] [-apbrows n]
 //
 // where id selects one experiment: table1, fig5, fig6, fig7, fig9, fig10,
-// fig11, fig13, fig14, a3, relax, merge, cidx, deploy, adapt, chaos, all
-// (default all).
+// fig11, fig13, fig14, a3, relax, merge, cidx, deploy, adapt, chaos,
+// serving, all (default all).
 //
 // Flags:
 //
@@ -61,7 +61,7 @@ import (
 func main() {
 	full := flag.Bool("full", false, "use the larger paper-like scale (slower)")
 	chrono := flag.Bool("chrono", false, "chronologically loaded SSB (load-order correlation scenario)")
-	run := flag.String("run", "all", "experiment id: table1,fig5,fig6,fig7,fig9,fig10,fig11,fig13,fig14,a3,relax,merge,cidx,deploy,adapt,chaos,all")
+	run := flag.String("run", "all", "experiment id: table1,fig5,fig6,fig7,fig9,fig10,fig11,fig13,fig14,a3,relax,merge,cidx,deploy,adapt,chaos,serving,all")
 	ssbRows := flag.Int("ssbrows", 0, "override SSB fact rows")
 	apbRows := flag.Int("apbrows", 0, "override APB fact rows")
 	optQueries := flag.Int("optqueries", 8, "workload size for the Figure 7 OPT brute force")
@@ -222,6 +222,14 @@ func main() {
 	})
 	step("chaos", func() error {
 		_, t, err := exp.ChaosAblation(scale)
+		if err != nil {
+			return err
+		}
+		t.Print(out)
+		return nil
+	})
+	step("serving", func() error {
+		_, t, err := exp.ServingLatency(scale)
 		if err != nil {
 			return err
 		}

@@ -35,6 +35,7 @@ import (
 	"coradd/internal/exec"
 	"coradd/internal/fault"
 	"coradd/internal/feedback"
+	"coradd/internal/obs"
 	"coradd/internal/query"
 	"coradd/internal/schema"
 	"coradd/internal/server"
@@ -145,6 +146,18 @@ type (
 	ServerConfig = server.Config
 	// ServerStatus is the daemon's observable state (/statusz).
 	ServerStatus = server.Status
+	// MetricsRegistry is the dependency-free metrics registry
+	// (internal/obs): counters, gauges and log-linear latency histograms
+	// with Prometheus text exposition. Wire one into ServerConfig.Metrics
+	// (or AdaptiveConfig.Metrics) and serve it at /metrics; nil disables
+	// every update at zero cost.
+	MetricsRegistry = obs.Registry
+	// EventTracer is the bounded-ring structured event trace
+	// (internal/obs): typed simulated-clock events from the adaptive
+	// controller, rendered in /statusz. nil disables it.
+	EventTracer = obs.Tracer
+	// TraceEvent is one recorded tracer event.
+	TraceEvent = obs.Event
 )
 
 // ErrCrash is the injected-crash sentinel: an AdaptiveController whose
@@ -177,6 +190,13 @@ func LoadCheckpoint(path string) (*Checkpoint, error) { return durable.Load(path
 
 // NewFaultInjector builds a deterministic fault injector from a schedule.
 func NewFaultInjector(cfg FaultConfig) *FaultInjector { return fault.New(cfg) }
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEventTracer builds a bounded-ring event tracer keeping the most
+// recent capacity events (capacity <= 0 uses the default, 256).
+func NewEventTracer(capacity int) *EventTracer { return obs.NewTracer(capacity) }
 
 // Value types: all attribute values are int64-coded (string attributes are
 // dictionary-coded per column; see internal/value).

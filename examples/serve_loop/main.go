@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -24,6 +25,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"coradd"
@@ -53,8 +55,13 @@ func main() {
 
 	// Life 1: serve with a crash scheduled after the second migration
 	// build lands — the controller dies mid-migration, journal intact.
+	// A metrics registry and event tracer ride along: the same load also
+	// exercises /metrics and the /statusz trace tail.
 	crashed := make(chan struct{})
+	metrics := coradd.NewMetricsRegistry()
 	scfg := serverConfig(budget, ckpt)
+	scfg.Metrics = metrics
+	scfg.Trace = coradd.NewEventTracer(0)
 	scfg.Adapt.Faults = coradd.NewFaultInjector(coradd.FaultConfig{
 		Seed: 42, CrashAfterBuilds: []int{2},
 	})
@@ -80,12 +87,13 @@ func main() {
 		len(stream), httpSrv.URL, 6*len(base)+1)
 
 	sent, shed := drive(httpSrv.URL, stream, 0, crashed)
-	httpSrv.Close()
 	st := srv.Status()
 	fmt.Printf("life 1: %d served, %d shed with 503+Retry-After, %d observations dropped\n",
 		st.Served, shed, st.Dropped)
 	fmt.Printf("life 1: crashed migrating to %s with %d builds journaled: %v\n",
 		st.Design, st.BuildsDone, st.Builds)
+	printMetrics(httpSrv.URL)
+	httpSrv.Close()
 
 	// Life 2: a fresh "process" restarts from the checkpoint. The resumed
 	// controller follows the journaled plan — no re-decision — and the
@@ -184,6 +192,26 @@ func drive(url string, stream []*coradd.Query, from int, crashed <-chan struct{}
 		}
 	}
 	return len(stream), shed
+}
+
+// printMetrics scrapes /metrics and echoes the request-facing slice of
+// the exposition — what a Prometheus collector would ingest.
+func printMetrics(url string) {
+	resp, err := http.Get(url + "/metrics")
+	must(err)
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	fmt.Println("\n/metrics (request-facing series):")
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "coradd_http_requests_total{") ||
+			strings.HasPrefix(line, "coradd_http_request_seconds_count") ||
+			strings.HasPrefix(line, "coradd_server_shed_total") ||
+			strings.HasPrefix(line, "coradd_adapt_builds_total") {
+			fmt.Println("  " + line)
+		}
+	}
+	must(sc.Err())
 }
 
 func must(err error) {

@@ -45,6 +45,7 @@ import (
 	"coradd/internal/designer"
 	"coradd/internal/fault"
 	"coradd/internal/feedback"
+	"coradd/internal/obs"
 	"coradd/internal/query"
 	"coradd/internal/stats"
 	"coradd/internal/storage"
@@ -93,6 +94,16 @@ type Config struct {
 	// controller adopts it anyway (degradation, not failure — warm starts
 	// guarantee it is never worse than the deployed design).
 	SolveTimeLimit time.Duration
+	// Metrics, when non-nil, exports the controller's counters, gauges
+	// and histograms into the registry under the coradd_adapt_ prefix
+	// (internal/obs). nil is free: the handles are nil and every update
+	// is an atomic no-op, so uninstrumented runs take identical paths.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives one structured event per controller
+	// trace entry plus one per selection/scheduling solve, stamped with
+	// the simulated clock — never wall time, so a deterministic stream
+	// replays to a byte-identical event sequence.
+	Trace *obs.Tracer
 }
 
 func (c *Config) fill() {
@@ -260,6 +271,11 @@ type Controller struct {
 	sinceCheck   int
 	lastRedesign float64
 	report       Report
+
+	// obs/tr are the metric handles and tracer from Config.Metrics/Trace;
+	// with both unset every update below is a no-op (metrics.go).
+	obs ctlObs
+	tr  *obs.Tracer
 }
 
 // New builds a controller over the designer inputs in common (W is
@@ -283,6 +299,8 @@ func New(common designer.Common, initial *designer.Design, cfg Config) (*Control
 		deployed:  initial,
 		rates:     make(map[string]float64),
 		lbCache:   make(map[string]float64),
+		obs:       newCtlObs(cfg.Metrics),
+		tr:        cfg.Trace,
 	}
 	if c.cache == nil {
 		c.cache = designer.NewObjectCache()
@@ -330,12 +348,16 @@ func (c *Controller) Report() Report {
 	return r
 }
 
-// event appends a trace entry.
+// event appends a trace entry and mirrors it to the structured tracer
+// (stamped with the simulated clock, so replays are byte-identical).
 func (c *Controller) event(kind EventKind, format string, args ...any) {
+	detail := fmt.Sprintf(format, args...)
 	c.report.Events = append(c.report.Events, Event{
 		Kind: kind, Clock: c.clock, Observed: c.report.Observed,
-		Detail: fmt.Sprintf(format, args...),
+		Detail: detail,
 	})
+	c.tr.Event(c.clock, kind.String(),
+		obs.F("observed", c.report.Observed), obs.F("detail", detail))
 }
 
 // Process executes one query of the stream on the simulated substrate:
@@ -375,12 +397,16 @@ func (c *Controller) Process(q *query.Query) (sec float64, err error) {
 	c.report.Cum += sec
 	c.report.Observed++
 	c.sinceCheck++
+	c.obs.observations.Inc()
 	if err := c.advanceMigration(); err != nil {
 		return 0, err
 	}
 	if c.mig == nil && c.sinceCheck >= c.cfg.CheckEvery {
 		c.sinceCheck = 0
+		c.obs.driftChecks.Inc()
 		if rep := c.Mon.Drift(); rep.Drifted && c.clock-c.lastRedesign >= c.cfg.MinGap {
+			c.obs.driftTriggers.Inc()
+			c.tr.Event(c.clock, "drift", obs.F("report", rep.String()))
 			if err := c.redesign(rep); err != nil {
 				return 0, err
 			}
@@ -449,6 +475,9 @@ func (c *Controller) scheduleHead(start float64) {
 func (c *Controller) finishMigration() {
 	m := c.mig
 	c.mig = nil
+	c.obs.migrations.Inc()
+	c.obs.migInFlight.Set(0)
+	c.obs.remainingBuilds.Set(0)
 	if len(m.skipped) > 0 {
 		c.incumbent = c.deployed
 		c.Mon.Rebase(c.costOf(c.deployed))
@@ -478,6 +507,7 @@ func (c *Controller) advanceMigration() error {
 			if m.attempts[name] <= c.cfg.Retry.Retries {
 				wait := c.cfg.Retry.Wait(m.attempts[name], c.cfg.Faults)
 				c.report.Retries++
+				c.obs.retries.Inc()
 				c.event(EventBuildFailed, "build %s failed (attempt %d/%d); retrying in %.2fs",
 					name, m.attempts[name], c.cfg.Retry.Retries+1, wait)
 				c.scheduleHead(finished + wait)
@@ -489,6 +519,8 @@ func (c *Controller) advanceMigration() error {
 			m.rates = m.rates[1:]
 			m.skipped = append(m.skipped, bi)
 			c.report.SkippedBuilds++
+			c.obs.skips.Inc()
+			c.obs.remainingBuilds.Set(int64(len(m.order)))
 			c.journalSkip(bi)
 			c.event(EventBuildSkipped, "build %s failed %d times; skipped, %d builds remain",
 				name, m.attempts[name], len(m.order))
@@ -507,11 +539,16 @@ func (c *Controller) advanceMigration() error {
 			continue
 		}
 
+		// The step's simulated duration: the modeled build seconds plus
+		// any injected slowdown (what nextDone was scheduled from).
+		c.obs.buildSeconds.Observe(m.builds[0] * (1 + m.pending.DelayFactor))
 		m.done = append(m.done, bi)
 		m.order = m.order[1:]
 		m.builds = m.builds[1:]
 		m.rates = m.rates[1:]
 		c.report.BuildsDone++
+		c.obs.builds.Inc()
+		c.obs.remainingBuilds.Set(int64(len(m.order)))
 
 		// The new prefix serves from here; every template re-prices.
 		w := c.Mon.Snapshot()
@@ -663,6 +700,12 @@ func (c *Controller) replan(w query.Workload, now float64) error {
 	c.syncJournalNext()
 	c.scheduleHead(now)
 	c.report.Replans++
+	c.obs.replans.Inc()
+	c.obs.solverNodes.Add(sched.Nodes)
+	c.obs.solverPruned.Add(sched.Pruned)
+	c.obs.solverIncumbents.Add(sched.Incumbents)
+	c.obs.solveNodes.Observe(float64(sched.Nodes))
+	c.tr.Event(c.clock, "solve", solveF("replan", sched.Nodes, sched.Pruned, sched.Incumbents, sched.Proven)...)
 	c.event(EventReplan, "replanned %d remaining builds (nodes %d, next %s)",
 		len(order), sched.Nodes, m.plan.Builds[order[0]].Name)
 	return nil
@@ -705,8 +748,19 @@ func (c *Controller) redesign(drift workload.DriftReport) error {
 	c.report.Redesigns++
 	c.report.RedesignLog = append(c.report.RedesignLog, info)
 	c.lastRedesign = c.clock
+	c.obs.redesigns.Inc()
+	c.obs.solverNodes.Add(d2.SolverNodes)
+	c.obs.solveNodes.Observe(float64(d2.SolverNodes))
+	pruned, incumbents := 0, 0
+	if info.Solve != nil && info.Solve.Sol != nil {
+		pruned, incumbents = info.Solve.Sol.Pruned, info.Solve.Sol.IncumbentUpdates
+		c.obs.solverPruned.Add(pruned)
+		c.obs.solverIncumbents.Add(incumbents)
+	}
+	c.tr.Event(c.clock, "solve", solveF("redesign", d2.SolverNodes, pruned, incumbents, d2.SolverProven)...)
 	if !d2.SolverProven {
 		c.report.Degraded++
+		c.obs.degraded.Inc()
 		c.event(EventSolveDegraded, "redesign solve hit its deadline after %d nodes; adopting unproven warm-started incumbent",
 			d2.SolverNodes)
 	}
@@ -749,6 +803,8 @@ func (c *Controller) redesign(drift workload.DriftReport) error {
 		wTotal:   totalWeight(w),
 		attempts: make(map[string]int),
 	}
+	c.obs.migInFlight.Set(1)
+	c.obs.remainingBuilds.Set(int64(len(c.mig.order)))
 	c.scheduleHead(c.clock)
 	return nil
 }
@@ -771,6 +827,7 @@ func RestartIdle(common designer.Common, deployed *designer.Design, cfg Config) 
 	}
 	c.Mon.PrimeRates(common.W)
 	c.Mon.Rebase(c.costOf(deployed))
+	c.obs.resumes.Inc()
 	c.event(EventResume, "restarted idle on design %s: %d templates primed", deployed.Name, len(common.W))
 	return c, nil
 }
@@ -810,6 +867,8 @@ func Resume(common designer.Common, to *designer.Design, j *deploy.Journal, cfg 
 	c.journal = j.Clone()
 	c.deployed = plan.PrefixDesign(c.model, common.W, j.Done)
 	c.rates = make(map[string]float64)
+	c.obs.resumes.Inc()
+	c.obs.journalReplays.Add(len(j.Done))
 	c.event(EventResume, "resumed migration %s → %s from journal: %d built, %d remaining, %d skipped",
 		j.From, j.To, len(j.Done), len(j.Next), len(j.Skipped))
 	if len(j.Next) == 0 {
@@ -835,6 +894,8 @@ func Resume(common designer.Common, to *designer.Design, j *deploy.Journal, cfg 
 		skipped:  append([]int(nil), j.Skipped...),
 		attempts: make(map[string]int),
 	}
+	c.obs.migInFlight.Set(1)
+	c.obs.remainingBuilds.Set(int64(len(c.mig.order)))
 	c.scheduleHead(c.clock)
 	return c, nil
 }

@@ -1,0 +1,80 @@
+package adapt
+
+import (
+	"coradd/internal/obs"
+)
+
+// ctlObs bundles the controller's metric handles. Built from
+// Config.Metrics; with a nil registry every handle is nil and every
+// update below is a no-op — the instrumented controller takes the exact
+// code paths of the uninstrumented one, which is what keeps the
+// pre-existing experiment tables byte-identical.
+type ctlObs struct {
+	observations  *obs.Counter
+	driftChecks   *obs.Counter
+	driftTriggers *obs.Counter
+	redesigns     *obs.Counter
+	replans       *obs.Counter
+	builds        *obs.Counter
+	retries       *obs.Counter
+	skips         *obs.Counter
+	degraded      *obs.Counter
+	migrations    *obs.Counter
+	resumes       *obs.Counter
+
+	// Solver telemetry, summed over redesign selection solves and
+	// replan scheduling solves (the per-solve shape goes to the tracer).
+	solverNodes      *obs.Counter
+	solverPruned     *obs.Counter
+	solverIncumbents *obs.Counter
+	// journalReplays counts builds adopted from a journal by Resume
+	// instead of being rebuilt — the crash-recovery savings.
+	journalReplays *obs.Counter
+
+	// solveNodes distributes per-solve node counts (decades 1..10M);
+	// buildSeconds distributes per-step build durations on the simulated
+	// timeline, injected delays included.
+	solveNodes   *obs.Histogram
+	buildSeconds *obs.Histogram
+
+	migInFlight     *obs.Gauge
+	remainingBuilds *obs.Gauge
+}
+
+func newCtlObs(r *obs.Registry) ctlObs {
+	return ctlObs{
+		observations:  r.Counter("coradd_adapt_observations_total", "Stream queries processed by the adaptive controller."),
+		driftChecks:   r.Counter("coradd_adapt_drift_checks_total", "Drift checks run on the controller's cadence."),
+		driftTriggers: r.Counter("coradd_adapt_drift_triggers_total", "Drift checks that reported drift and passed the redesign gap."),
+		redesigns:     r.Counter("coradd_adapt_redesigns_total", "Drift-triggered redesigns (including no-change outcomes)."),
+		replans:       r.Counter("coradd_adapt_replans_total", "Mid-migration re-solves of the remaining schedule."),
+		builds:        r.Counter("coradd_adapt_builds_total", "Completed migration builds."),
+		retries:       r.Counter("coradd_adapt_build_retries_total", "Build failures scheduled for retry after backoff."),
+		skips:         r.Counter("coradd_adapt_builds_skipped_total", "Builds abandoned after exhausting their retries."),
+		degraded:      r.Counter("coradd_adapt_solves_degraded_total", "Redesigns adopted unproven after a solve deadline."),
+		migrations:    r.Counter("coradd_adapt_migrations_total", "Migrations fully deployed (degraded completions included)."),
+		resumes:       r.Counter("coradd_adapt_resumes_total", "Controllers rebuilt from a journal or checkpoint."),
+
+		solverNodes:      r.Counter("coradd_adapt_solver_nodes_total", "Branch-and-bound nodes across redesign and replan solves."),
+		solverPruned:     r.Counter("coradd_adapt_solver_pruned_total", "Bound-pruned nodes across redesign and replan solves."),
+		solverIncumbents: r.Counter("coradd_adapt_solver_incumbent_updates_total", "Incumbent improvements across redesign and replan solves."),
+		journalReplays:   r.Counter("coradd_adapt_journal_replayed_builds_total", "Builds adopted from a migration journal on resume."),
+
+		solveNodes:   r.HistogramRange("coradd_adapt_solve_nodes", "Per-solve branch-and-bound node counts.", 0, 7),
+		buildSeconds: r.Histogram("coradd_adapt_build_seconds", "Per-step migration build seconds on the simulated timeline."),
+
+		migInFlight:     r.Gauge("coradd_adapt_migration_in_flight", "1 while a migration is deploying, else 0."),
+		remainingBuilds: r.Gauge("coradd_adapt_remaining_builds", "Builds left in the in-flight migration."),
+	}
+}
+
+// solveF renders one solve outcome as trace fields.
+func solveF(kind string, nodes, pruned, incumbents int, proven bool) []obs.Field {
+	return []obs.Field{
+		obs.F("solve", kind),
+		obs.F("nodes", nodes),
+		obs.F("pruned", pruned),
+		obs.F("incumbents", incumbents),
+		obs.F("proven", proven),
+	}
+}

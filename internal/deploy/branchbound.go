@@ -74,6 +74,8 @@ func Solve(p *Problem, opts Options) (*Schedule, error) {
 		return nil, err
 	}
 	out.Nodes = s.nodes
+	out.Pruned = s.pruned
+	out.Incumbents = s.incumbents
 	out.Proven = s.proven
 	return out, nil
 }
@@ -106,10 +108,12 @@ type sched struct {
 	// reached that deployed set at.
 	memo map[uint64]float64
 
-	nodes     int
-	bestCum   float64
-	bestOrder []int
-	proven    bool
+	nodes      int
+	pruned     int
+	incumbents int
+	bestCum    float64
+	bestOrder  []int
+	proven     bool
 
 	// frontier/leaves drive the parallel decomposition: when frontier ≥ 0,
 	// dfs snapshots state at that depth instead of descending.
@@ -197,6 +201,7 @@ func (s *sched) dfs(depth int, mask uint64, times []float64, rate, cum float64) 
 		if cum < s.bestCum-1e-12 {
 			s.bestCum = cum
 			s.bestOrder = append([]int(nil), s.path...)
+			s.incumbents++
 		}
 		return
 	}
@@ -204,10 +209,12 @@ func (s *sched) dfs(depth int, mask uint64, times []float64, rate, cum float64) 
 	// set, so a permutation reaching mask at no lower cost than an
 	// earlier visit cannot improve on that visit's completions.
 	if prev, ok := s.memo[mask]; ok && cum >= prev {
+		s.pruned++
 		return
 	}
 	s.memo[mask] = cum
 	if cum+s.remainingBound(mask, times, rate) >= s.bestCum-1e-12 {
+		s.pruned++
 		return
 	}
 	for _, o := range s.branch {

@@ -244,9 +244,15 @@ type Schedule struct {
 	// FinalRate is the workload rate once everything is deployed.
 	FinalRate float64
 	// Nodes is the number of branch-and-bound nodes explored (0 for
-	// Evaluate); Proven reports whether optimality was proven.
-	Nodes  int
-	Proven bool
+	// Evaluate); Proven reports whether optimality was proven. Pruned
+	// counts nodes cut by the bound or the visited-state memo, and
+	// Incumbents counts strict improvements adopted during the search —
+	// diagnostics exported to /metrics, summed across subtrees in
+	// parallel mode.
+	Nodes      int
+	Pruned     int
+	Incumbents int
+	Proven     bool
 }
 
 // Evaluate prices an explicit build order under the problem's cost model,

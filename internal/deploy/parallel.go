@@ -17,10 +17,12 @@ type prefix struct {
 
 // taskResult is one subtree's outcome.
 type taskResult struct {
-	cum    float64
-	order  []int
-	nodes  int
-	proven bool
+	cum        float64
+	order      []int
+	nodes      int
+	pruned     int
+	incumbents int
+	proven     bool
 }
 
 // solveParallel runs the deterministic parallel subtree search, mirroring
@@ -78,12 +80,14 @@ func (s *sched) solveParallel(workers int, times []float64) {
 		leaf := &leaves[i]
 		t.path = append(t.path, leaf.path...)
 		t.dfs(depth, leaf.mask, leaf.times, leaf.rate, leaf.cum)
-		results[i] = taskResult{cum: t.bestCum, order: t.bestOrder, nodes: t.nodes, proven: t.proven}
+		results[i] = taskResult{cum: t.bestCum, order: t.bestOrder, nodes: t.nodes, pruned: t.pruned, incumbents: t.incumbents, proven: t.proven}
 	})
 
 	// Merge in fixed subtree order with the sequential improvement rule.
 	for i := range results {
 		s.nodes += results[i].nodes
+		s.pruned += results[i].pruned
+		s.incumbents += results[i].incumbents
 		if !results[i].proven {
 			s.proven = false
 		}

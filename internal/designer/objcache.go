@@ -58,7 +58,7 @@ type ObjectCache struct {
 	entries map[string]*list.Element
 	lru     *list.List // front = most recently used
 
-	hits, misses int
+	hits, misses, evictions int
 }
 
 // cacheEntry is one LRU node. deps lists the cache keys of the artifacts
@@ -134,6 +134,24 @@ func (c *ObjectCache) Stats() (hits, misses int) {
 	return c.hits, c.misses
 }
 
+// CacheStats is a consistent snapshot of the cache's lifetime counters
+// and current footprint, in the shape /metrics exports.
+type CacheStats struct {
+	Hits      int
+	Misses    int
+	Evictions int
+	UsedBytes int64
+}
+
+// Snapshot returns all counters under one lock acquisition. Hits, Misses
+// and Evictions are lifetime-monotonic (Flush drops entries but never
+// resets counters); UsedBytes is the instantaneous charged footprint.
+func (c *ObjectCache) Snapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, UsedBytes: c.used}
+}
+
 // UsedBytes reports the charged footprint of the cached artifacts.
 func (c *ObjectCache) UsedBytes() int64 {
 	c.mu.Lock()
@@ -173,6 +191,7 @@ func (c *ObjectCache) evictLocked() {
 			c.lru.Remove(back)
 			delete(c.entries, e.key)
 			c.used -= e.bytes
+			c.evictions++
 			evicted = true
 			for _, d := range e.deps {
 				if del, ok := c.entries[d]; ok {

@@ -21,6 +21,13 @@ type Solution struct {
 	Proven bool
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
+	// Pruned counts nodes cut by the admissible bound; IncumbentUpdates
+	// counts strict improvements adopted during the search (0 when the
+	// greedy/warm incumbent was already optimal). Both are search-shape
+	// diagnostics exported to /metrics; in parallel mode they sum across
+	// subtrees the same way Nodes does.
+	Pruned           int
+	IncumbentUpdates int
 	// PerQuery[q] is the index of the chosen candidate serving q, or -1
 	// when q runs on the base design.
 	PerQuery []int
@@ -187,6 +194,8 @@ type solver struct {
 	timesBuf [][]float64
 
 	nodes      int
+	pruned     int
+	incumbents int
 	bestObj    float64
 	bestChosen []int
 	proven     bool
@@ -306,11 +315,13 @@ func (s *solver) dfs(pos int, usedSize int64, bestTimes []float64, cur float64, 
 	if cur < s.bestObj-1e-12 {
 		s.bestObj = cur
 		s.bestChosen = append([]int(nil), chosen...)
+		s.incumbents++
 	}
 	if pos >= len(s.order) {
 		return
 	}
 	if s.bound(pos, usedSize, bestTimes, excluded) >= s.bestObj-1e-12 {
+		s.pruned++
 		return
 	}
 	m := s.order[pos]

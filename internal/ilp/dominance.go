@@ -331,11 +331,13 @@ func (r *reduction) lift(p *Problem, s *solver) *Solution {
 		}
 	}
 	sol := &Solution{
-		Chosen:    chosen,
-		Objective: s.bestObj,
-		Size:      p.SizeOf(chosen),
-		Proven:    s.proven,
-		Nodes:     s.nodes,
+		Chosen:           chosen,
+		Objective:        s.bestObj,
+		Size:             p.SizeOf(chosen),
+		Proven:           s.proven,
+		Nodes:            s.nodes,
+		Pruned:           s.pruned,
+		IncumbentUpdates: s.incumbents,
 	}
 	sol.PerQuery = perQueryRouting(p, sol.Chosen)
 	return sol

@@ -18,10 +18,12 @@ type subtree struct {
 
 // taskResult is one subtree's outcome.
 type taskResult struct {
-	obj    float64
-	chosen []int
-	nodes  int
-	proven bool
+	obj        float64
+	chosen     []int
+	nodes      int
+	pruned     int
+	incumbents int
+	proven     bool
 }
 
 // solveParallel runs the deterministic parallel subtree search: the tree
@@ -95,12 +97,14 @@ func (s *solver) solveParallel(workers int) {
 		leaf := &leaves[i]
 		copy(t.decided, leaf.decided)
 		t.dfs(depth, leaf.usedSize, leaf.bestTimes, leaf.cur, -1, leaf.chosen, leaf.factUsed)
-		results[i] = taskResult{obj: t.bestObj, chosen: t.bestChosen, nodes: t.nodes, proven: t.proven}
+		results[i] = taskResult{obj: t.bestObj, chosen: t.bestChosen, nodes: t.nodes, pruned: t.pruned, incumbents: t.incumbents, proven: t.proven}
 	})
 
 	// Merge in fixed subtree order with the sequential improvement rule.
 	for i := range results {
 		s.nodes += results[i].nodes
+		s.pruned += results[i].pruned
+		s.incumbents += results[i].incumbents
 		if !results[i].proven {
 			s.proven = false
 		}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families in sorted name order, children in
+// sorted label order, histograms as cumulative le-buckets plus _sum and
+// _count. The output for a fixed observation multiset is byte-identical
+// run to run (golden-tested). A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(string(f.typ))
+		bw.WriteByte('\n')
+
+		f.mu.Lock()
+		fn := f.fn
+		f.mu.Unlock()
+		if fn != nil {
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(fn()))
+			bw.WriteByte('\n')
+			continue
+		}
+
+		keys, children := f.sortedChildren()
+		for i, child := range children {
+			values := strings.Split(keys[i], "\x1f")
+			switch m := child.(type) {
+			case *Counter:
+				writeSample(bw, f.name, "", f.labels, values, "", "", formatUint(m.Value()))
+			case *Gauge:
+				writeSample(bw, f.name, "", f.labels, values, "", "", strconv.FormatInt(m.Value(), 10))
+			case *Histogram:
+				counts, _ := m.snapshot()
+				cum := uint64(0)
+				for bi, b := range m.bounds {
+					cum += counts[bi]
+					writeSample(bw, f.name, "_bucket", f.labels, values, "le", formatValue(b), formatUint(cum))
+				}
+				cum += counts[len(m.bounds)]
+				writeSample(bw, f.name, "_bucket", f.labels, values, "le", "+Inf", formatUint(cum))
+				writeSample(bw, f.name, "_sum", f.labels, values, "", "", formatValue(m.Sum()))
+				writeSample(bw, f.name, "_count", f.labels, values, "", "", formatUint(m.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the exposition — the /metrics
+// endpoint. A nil registry serves an empty (valid) exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// writeSample emits one `name{labels} value` line. extraK/extraV append
+// a synthetic label (the histogram's le) after the family labels.
+func writeSample(bw *bufio.Writer, name, suffix string, labels, values []string, extraK, extraV, val string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || extraK != "" {
+		bw.WriteByte('{')
+		first := true
+		for i, l := range labels {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			v := ""
+			if i < len(values) {
+				v = values[i]
+			}
+			bw.WriteString(escapeLabel(v))
+			bw.WriteByte('"')
+		}
+		if extraK != "" {
+			if !first {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraK)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(extraV))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(val)
+	bw.WriteByte('\n')
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// formatValue renders a float the shortest way that round-trips —
+// matching how Prometheus clients print bounds, and stable across runs.
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,351 @@
+// Package obs is the dependency-free observability layer: a metrics
+// registry (counters, gauges, and log-linear-bucket histograms suitable
+// for latency percentiles from microseconds to minutes) with Prometheus
+// text-format exposition, and a bounded-ring structured event tracer
+// (trace.go) for the adaptive loop.
+//
+// Two properties shape every API here:
+//
+//   - The off state is free. A nil *Registry hands out nil metric
+//     handles, and every method on a nil handle is a no-op — so an
+//     uninstrumented run (every experiment table, every pre-existing
+//     code path) takes a nil-check and nothing else. No build tags, no
+//     interface indirection, no allocation.
+//   - Everything is race-clean. Counters, gauges and histogram buckets
+//     are atomics; registration and exposition take the registry lock.
+//     Concurrent observers plus a scraping reader is the normal case,
+//     not an edge case (obs_test.go runs exactly that under -race).
+//
+// Exposition is deterministic: families print in sorted name order,
+// children in sorted label order, so a fixed sequence of observations
+// produces byte-identical /metrics output (pinned by a golden test).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricType names a family's kind in the TYPE exposition line.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// Registry holds metric families by name. The zero value is not usable;
+// build one with NewRegistry. A nil *Registry is the disabled layer:
+// every constructor returns nil and every nil handle no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one named metric with a fixed label set and typed children,
+// one per distinct label-value tuple (a single child under the empty key
+// for unlabeled metrics).
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	labels []string
+
+	mu       sync.Mutex
+	children map[string]any // joined label values → *Counter / *Gauge / *Histogram
+	// fn, when non-nil, is a collected metric: the value is read at
+	// exposition time instead of being pushed (CounterFunc/GaugeFunc —
+	// the bridge for pre-existing monotonic ints like cache hit counts).
+	fn func() float64
+
+	// histogram bucket layout, shared by every child (histogram.go).
+	loDecade, hiDecade int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKey joins label values with 0x1f (never a legal label byte here).
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// getFamily returns the family for name, creating it on first use. A
+// name re-registered with a different type or label set panics: silently
+// returning a mismatched handle would corrupt the exposition.
+func (r *Registry) getFamily(name, help string, typ metricType, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: %s re-registered as %s with %d labels (was %s with %d)",
+				name, typ, len(labels), f.typ, len(f.labels)))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: %s re-registered with label %q (was %q)", name, labels[i], f.labels[i]))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels:   append([]string(nil), labels...),
+		children: make(map[string]any),
+		loDecade: defaultLoDecade, hiDecade: defaultHiDecade,
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter returns the unlabeled counter named name, registering it on
+// first use. Nil registry → nil handle (a no-op).
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, typeCounter, nil)
+	return f.counter(nil)
+}
+
+// CounterVec returns the labeled counter family named name.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.getFamily(name, help, typeCounter, labels)}
+}
+
+// CounterFunc registers a collected counter: fn is read at exposition
+// time. fn must be monotonically non-decreasing and safe for concurrent
+// use — the bridge for pre-existing lifetime counters (atomic ints,
+// cache hit counts) that already exist elsewhere.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.getFamily(name, help, typeCounter, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// Gauge returns the unlabeled gauge named name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, typeGauge, nil)
+	return f.gauge(nil)
+}
+
+// GaugeFunc registers a collected gauge: fn is read at exposition time
+// and must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.getFamily(name, help, typeGauge, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// Histogram returns the unlabeled histogram named name with the default
+// seconds-scale buckets (1µs–900s, log-linear).
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, typeHistogram, nil)
+	return f.histogram(nil)
+}
+
+// HistogramRange returns the unlabeled histogram named name with
+// log-linear buckets spanning 10^loDecade .. 9×10^hiDecade — for
+// non-latency populations (solver node counts, byte sizes) whose range
+// the seconds-scale default would clip.
+func (r *Registry) HistogramRange(name, help string, loDecade, hiDecade int) *Histogram {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, typeHistogram, nil)
+	f.mu.Lock()
+	if len(f.children) == 0 {
+		f.loDecade, f.hiDecade = clampDecades(loDecade, hiDecade)
+	}
+	f.mu.Unlock()
+	return f.histogram(nil)
+}
+
+// HistogramVec returns the labeled histogram family named name.
+func (r *Registry) HistogramVec(name, help string, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{f: r.getFamily(name, help, typeHistogram, labels)}
+}
+
+// counter returns (creating on miss) the child for the label values.
+func (f *family) counter(values []string) *Counter {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := labelKey(values)
+	if c, ok := f.children[k]; ok {
+		return c.(*Counter)
+	}
+	c := &Counter{}
+	f.children[k] = c
+	return c
+}
+
+func (f *family) gauge(values []string) *Gauge {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := labelKey(values)
+	if g, ok := f.children[k]; ok {
+		return g.(*Gauge)
+	}
+	g := &Gauge{}
+	f.children[k] = g
+	return g
+}
+
+func (f *family) histogram(values []string) *Histogram {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := labelKey(values)
+	if h, ok := f.children[k]; ok {
+		return h.(*Histogram)
+	}
+	h := newHistogram(f.loDecade, f.hiDecade)
+	f.children[k] = h
+	return h
+}
+
+// CounterVec is a labeled counter family; With resolves one child.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the label values (len must match the
+// registered label names). Nil vec → nil handle.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.counter(values)
+}
+
+// HistogramVec is a labeled histogram family; With resolves one child.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the label values. Nil vec → nil handle.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.histogram(values)
+}
+
+// Counter is a monotonically increasing value. All methods are atomic
+// and no-ops on a nil receiver.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(uint64(n))
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down (in-flight requests, bytes
+// held). All methods are atomic and no-ops on a nil receiver.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Inc adds one; Dec subtracts one.
+func (g *Gauge) Inc() { g.Add(1) }
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedChildren snapshots one family's children in label-key order.
+func (f *family) sortedChildren() (keys []string, children []any) {
+	f.mu.Lock()
+	keys = make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children = make([]any, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.Unlock()
+	return keys, children
+}
+
+// atomicAddFloat adds delta to the float64 stored in bits, CAS-looped.
+func atomicAddFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilNoOps pins the disabled layer's contract: a nil registry hands
+// out nil handles and every operation on them (and on a nil tracer) is
+// a safe no-op — the "off state is free" guarantee the uninstrumented
+// experiment paths rely on.
+func TestNilNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "h")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	g := r.Gauge("g", "h")
+	g.Set(5)
+	g.Inc()
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	h := r.Histogram("h", "h")
+	h.Observe(1)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram recorded")
+	}
+	cv := r.CounterVec("cv", "h", "l")
+	cv.With("x").Inc()
+	hv := r.HistogramVec("hv", "h", "l")
+	hv.With("x").Observe(1)
+	r.CounterFunc("cf", "h", func() float64 { return 1 })
+	r.GaugeFunc("gf", "h", func() float64 { return 1 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil registry exposition: %v", err)
+	}
+
+	var tr *Tracer
+	tr.Event(1, "k", F("a", 1))
+	tr.Span(1, 2, "k")
+	if tr.Events() != nil || tr.Seq() != 0 {
+		t.Error("nil tracer recorded")
+	}
+}
+
+// TestHistogramQuantiles checks the log-linear estimator against a
+// population with known order statistics.
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "seconds")
+	// 100 observations: 90 at ~1ms, 9 at ~20ms, 1 at ~3s.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.00095)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.019)
+	}
+	h.Observe(2.9)
+
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	p50, p95, p99 := h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99)
+	if p50 < 0.0005 || p50 > 0.001 {
+		t.Errorf("p50 = %g, want ~1ms", p50)
+	}
+	if p95 < 0.01 || p95 > 0.02 {
+		t.Errorf("p95 = %g, want ~20ms", p95)
+	}
+	if p99 < 0.01 || p99 > 3 {
+		t.Errorf("p99 = %g out of range", p99)
+	}
+	if p50 > p95 || p95 > p99 {
+		t.Errorf("quantiles not monotone: %g %g %g", p50, p95, p99)
+	}
+	// The sum is exact (not bucketed).
+	want := 90*0.00095 + 9*0.019 + 2.9
+	if math.Abs(h.Sum()-want) > 1e-9 {
+		t.Errorf("sum = %g, want %g", h.Sum(), want)
+	}
+	// Overflow clamps to the largest finite bound.
+	h2 := r.HistogramRange("small", "unitless", 0, 0)
+	h2.Observe(50)
+	if got := h2.Quantile(0.5); got != 9 {
+		t.Errorf("overflow quantile = %g, want clamp to 9", got)
+	}
+}
+
+// TestBucketUpper pins the log-linear bucket assignment at and around
+// decade boundaries — the latency-bucket tag the structured request log
+// carries must match the histogram's own bucketing.
+func TestBucketUpper(t *testing.T) {
+	cases := []struct{ v, want float64 }{
+		{0, 1e-6},                      // zero lands in the first bucket
+		{1e-6, 1e-6},                   // exact bound is inclusive
+		{1.5e-6, 2e-6},                 // interior of a decade
+		{8.5e-4, 9 * math.Pow(10, -4)}, // top of a decade (bound as constructed)
+		{9.5e-4, 1e-3},                 // between decades
+		{1, 1},                         // unit
+		{899, 900},                     // top finite bucket
+		{901, math.Inf(1)},             // overflow
+	}
+	for _, c := range cases {
+		if got := DefaultBucketUpper(c.v); got != c.want {
+			t.Errorf("DefaultBucketUpper(%g) = %g, want %g", c.v, got, c.want)
+		}
+	}
+}
+
+// TestConcurrentRegistry is the -race gate for the metrics layer:
+// parallel observers hammer counters, gauges, labeled histograms and
+// vec lookups while a scraping reader renders the exposition — the
+// steady state of a live daemon under load.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.CounterVec("reqs", "requests", "route", "code")
+	lat := r.HistogramVec("lat", "seconds", "route")
+	inflight := r.Gauge("inflight", "gauge")
+	r.CounterFunc("served", "served", func() float64 { return 42 })
+	tr := NewTracer(64)
+
+	const workers, perWorker = 8, 2000
+	var writers, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	// Scraping reader: continuous exposition + quantile reads.
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+			lat.With("/query").Quantile(0.95)
+			tr.Recent(16)
+		}
+	}()
+	routes := []string{"/query", "/statusz"}
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				route := routes[i%len(routes)]
+				inflight.Inc()
+				reqs.With(route, "200").Inc()
+				lat.With(route).Observe(float64(i%100) * 1e-4)
+				tr.Event(float64(i), "req", F("w", w))
+				inflight.Dec()
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+
+	if got := reqs.With("/query", "200").Value() + reqs.With("/statusz", "200").Value(); got != workers*perWorker {
+		t.Errorf("counter total = %d, want %d", got, workers*perWorker)
+	}
+	if got := lat.With("/query").Count() + lat.With("/statusz").Count(); got != workers*perWorker {
+		t.Errorf("histogram total = %d, want %d", got, workers*perWorker)
+	}
+	if inflight.Value() != 0 {
+		t.Errorf("inflight = %d after drain, want 0", inflight.Value())
+	}
+	if tr.Seq() != workers*perWorker {
+		t.Errorf("trace seq = %d, want %d", tr.Seq(), workers*perWorker)
+	}
+}
+
+// TestPrometheusGolden pins the exposition format byte for byte: family
+// ordering, label ordering and escaping, cumulative le-buckets, _sum /
+// _count, collected funcs, and float formatting.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.CounterVec("http_requests_total", "Requests by route and code.", "route", "code")
+	reqs.With("/query", "200").Add(3)
+	reqs.With("/query", "503").Inc()
+	reqs.With("/healthz", "200").Add(2)
+	g := r.Gauge("inflight", "In-flight requests.")
+	g.Set(2)
+	r.GaugeFunc("cache_used_bytes", "Cache footprint.", func() float64 { return 1536 })
+	r.CounterFunc("served_total", "Lifetime served.", func() float64 { return 7 })
+	h := r.HistogramRange("build_seconds", "Per-step build seconds.", 0, 1)
+	h.Observe(2)   // le 2
+	h.Observe(2.5) // le 3
+	h.Observe(45)  // le 50
+	h.Observe(500) // +Inf
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP build_seconds Per-step build seconds.
+# TYPE build_seconds histogram
+build_seconds_bucket{le="1"} 0
+build_seconds_bucket{le="2"} 1
+build_seconds_bucket{le="3"} 2
+build_seconds_bucket{le="4"} 2
+build_seconds_bucket{le="5"} 2
+build_seconds_bucket{le="6"} 2
+build_seconds_bucket{le="7"} 2
+build_seconds_bucket{le="8"} 2
+build_seconds_bucket{le="9"} 2
+build_seconds_bucket{le="10"} 2
+build_seconds_bucket{le="20"} 2
+build_seconds_bucket{le="30"} 2
+build_seconds_bucket{le="40"} 2
+build_seconds_bucket{le="50"} 3
+build_seconds_bucket{le="60"} 3
+build_seconds_bucket{le="70"} 3
+build_seconds_bucket{le="80"} 3
+build_seconds_bucket{le="90"} 3
+build_seconds_bucket{le="+Inf"} 4
+build_seconds_sum 549.5
+build_seconds_count 4
+# HELP cache_used_bytes Cache footprint.
+# TYPE cache_used_bytes gauge
+cache_used_bytes 1536
+# HELP http_requests_total Requests by route and code.
+# TYPE http_requests_total counter
+http_requests_total{route="/healthz",code="200"} 2
+http_requests_total{route="/query",code="200"} 3
+http_requests_total{route="/query",code="503"} 1
+# HELP inflight In-flight requests.
+# TYPE inflight gauge
+inflight 2
+# HELP served_total Lifetime served.
+# TYPE served_total counter
+served_total 7
+`
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// TestReRegistration pins that re-registering a family returns the same
+// underlying child, and that a type mismatch panics loudly.
+func TestReRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "h")
+	b := r.Counter("x_total", "h")
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("re-registration returned a different child")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("type-mismatched re-registration did not panic")
+		}
+	}()
+	r.Gauge("x_total", "h")
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 )
 
 // maxBody bounds a /query request body; a query document is small, and
@@ -24,21 +25,39 @@ func writeJSONError(w http.ResponseWriter, status int, msg string) {
 
 // routes wires the endpoint set. Probes and status bypass admission
 // control and timeouts entirely: an overloaded daemon must still answer
-// its load balancer.
+// its load balancer. RequestLog sits outermost (with Recover just
+// inside it) so every refusal — not-ready, shed, timeout, panic — is
+// still counted, timed, and logged with its cause.
 func (s *Server) routes() {
 	probe := func(h http.HandlerFunc) http.Handler {
-		return Chain(h, s.Recover, s.RequestLog)
+		return Chain(h, s.RequestLog, s.Recover)
 	}
 	s.mux.Handle("/healthz", probe(s.handleHealthz))
 	s.mux.Handle("/readyz", probe(s.handleReadyz))
 	s.mux.Handle("/statusz", probe(s.handleStatusz))
 	s.mux.Handle("/design", probe(s.handleDesign))
 
-	queryChain := []Middleware{s.Recover, s.RequestLog, s.gate, s.Admit}
+	queryChain := []Middleware{s.RequestLog, s.Recover, s.gate, s.Admit}
 	if s.cfg.RequestTimeout > 0 {
 		queryChain = append(queryChain, s.Timeout(s.cfg.RequestTimeout))
 	}
 	s.mux.Handle("/query", Chain(http.HandlerFunc(s.handleQuery), queryChain...))
+
+	// Observability endpoints. /metrics is mounted only when a registry is
+	// configured; it is deliberately outside RequestLog so scraping does
+	// not perturb the request metrics it reports. pprof is opt-in (the
+	// daemon's -pprof flag) — profiling endpoints on a serving port are a
+	// debugging tool, not a default.
+	if s.cfg.Metrics != nil {
+		s.mux.Handle("/metrics", s.cfg.Metrics.Handler())
+	}
+	if s.cfg.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // handleHealthz is liveness: the process is up and serving HTTP. It is
@@ -111,6 +130,7 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 func (s *Server) gate(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !s.ready.Load() {
+			setCause(w, "not-ready")
 			w.Header().Set("Retry-After", "1")
 			writeJSONError(w, http.StatusServiceUnavailable,
 				fmt.Sprintf("not serving (%s)", s.state.Load().(string)))

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"bytes"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"coradd/internal/obs"
+)
+
+// get runs one GET through the server's full mux.
+func get(h http.Handler, path string) *httptest.ResponseRecorder {
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+	return rr
+}
+
+// TestRequestLogStructuredLine: RequestLog emits exactly one key=value
+// line per request — route, method, status, histogram latency bucket,
+// terminating cause — and the cause reflects which middleware refused
+// the request.
+func TestRequestLogStructuredLine(t *testing.T) {
+	var buf bytes.Buffer
+	s := bare(Config{Log: log.New(&buf, "", 0), Metrics: obs.NewRegistry()})
+	h := s.Handler()
+
+	line := func() string {
+		defer buf.Reset()
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) != 1 {
+			t.Fatalf("want exactly one log line, got %d:\n%s", len(lines), buf.String())
+		}
+		return lines[0]
+	}
+
+	// Success path: a probe route, cause ok.
+	if rr := get(h, "/healthz"); rr.Code != http.StatusOK {
+		t.Fatalf("/healthz: %d", rr.Code)
+	}
+	got := line()
+	pat := regexp.MustCompile(`^http route=/healthz method=GET status=200 latency_bucket=(\+Inf|[0-9.e+-]+) cause=ok$`)
+	if !pat.MatchString(got) {
+		t.Errorf("log line %q does not match %v", got, pat)
+	}
+
+	// Refusal path: /query before Attach is gated with cause not-ready.
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/query", strings.NewReader(`{"name":"Q1.1"}`)))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/query before Attach: %d, want 503", rr.Code)
+	}
+	got = line()
+	if !strings.Contains(got, "route=/query") || !strings.Contains(got, "status=503") ||
+		!strings.Contains(got, "cause=not-ready") {
+		t.Errorf("gated request logged %q, want route=/query status=503 cause=not-ready", got)
+	}
+}
+
+// TestRequestLogCauses: the shed and panic paths tag their causes
+// through the statusWriter even though a different middleware wrote the
+// response.
+func TestRequestLogCauses(t *testing.T) {
+	var buf bytes.Buffer
+	s := bare(Config{Log: log.New(&buf, "", 0), RateLimit: 0.0001, Burst: 1})
+
+	// Shed: drain the only token, the second request sheds with 503.
+	shedChain := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}),
+		s.RequestLog, s.Admit)
+	get(shedChain, "/q")
+	buf.Reset()
+	if rr := get(shedChain, "/q"); rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("second request: %d, want 503", rr.Code)
+	}
+	if got := buf.String(); !strings.Contains(got, "status=503") || !strings.Contains(got, "cause=shed") {
+		t.Errorf("shed request logged %q, want status=503 cause=shed", got)
+	}
+
+	// Panic: Recover writes the 500, RequestLog logs cause=panic (the
+	// panic log line itself is extra — match on the http line).
+	buf.Reset()
+	panicChain := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("poisoned")
+	}), s.RequestLog, s.Recover)
+	if rr := get(panicChain, "/p"); rr.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking request: %d, want 500", rr.Code)
+	}
+	var httpLine string
+	for _, l := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(l, "http ") {
+			httpLine = l
+		}
+	}
+	if !strings.Contains(httpLine, "status=500") || !strings.Contains(httpLine, "cause=panic") {
+		t.Errorf("panicking request logged %q, want status=500 cause=panic", httpLine)
+	}
+}
+
+// TestMetricsEndpoint: with a registry configured, /metrics serves the
+// Prometheus exposition and traffic moves the request families; without
+// one, the route does not exist.
+func TestMetricsEndpoint(t *testing.T) {
+	s := bare(Config{Metrics: obs.NewRegistry()})
+	h := s.Handler()
+	for i := 0; i < 3; i++ {
+		get(h, "/healthz")
+	}
+	rr := get(h, "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type %q", ct)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{
+		`coradd_http_requests_total{route="/healthz",code="200"} 3`,
+		`coradd_http_request_seconds_count{route="/healthz"} 3`,
+		`coradd_http_inflight_requests 0`,
+		"# TYPE coradd_server_shed_total counter",
+		"coradd_server_served_total 0",
+		"coradd_cache_hits_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// No registry: no /metrics route (the mux 404s), no pprof either.
+	bareSrv := bare(Config{})
+	if rr := get(bareSrv.Handler(), "/metrics"); rr.Code != http.StatusNotFound {
+		t.Errorf("/metrics without a registry: %d, want 404", rr.Code)
+	}
+	if rr := get(bareSrv.Handler(), "/debug/pprof/"); rr.Code != http.StatusNotFound {
+		t.Errorf("/debug/pprof/ without the flag: %d, want 404", rr.Code)
+	}
+}
+
+// TestPprofGate: the profiling mux mounts only when Config.Pprof is set.
+func TestPprofGate(t *testing.T) {
+	s := bare(Config{Pprof: true})
+	if rr := get(s.Handler(), "/debug/pprof/"); rr.Code != http.StatusOK {
+		t.Errorf("/debug/pprof/ with Pprof: %d, want 200", rr.Code)
+	}
+}
+
+// TestStatusTrace: with a tracer configured, /statusz renders the most
+// recent structured events oldest-first.
+func TestStatusTrace(t *testing.T) {
+	tr := obs.NewTracer(8)
+	s := bare(Config{Trace: tr})
+	tr.Event(1.5, "drift", obs.F("dist", 0.31))
+	tr.Event(2.0, "solve", obs.F("nodes", 42))
+	st := s.Status()
+	if len(st.Trace) != 2 {
+		t.Fatalf("Status.Trace has %d lines, want 2: %v", len(st.Trace), st.Trace)
+	}
+	if !strings.Contains(st.Trace[0], "kind=drift") || !strings.Contains(st.Trace[1], "kind=solve") {
+		t.Errorf("trace lines out of order or mislabeled: %v", st.Trace)
+	}
+	// No tracer: the field stays empty (and omitted from JSON).
+	if st := bare(Config{}).Status(); len(st.Trace) != 0 {
+		t.Errorf("Status.Trace without a tracer: %v", st.Trace)
+	}
+}

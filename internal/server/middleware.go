@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -21,10 +22,12 @@ func Chain(h http.Handler, mw ...Middleware) http.Handler {
 	return h
 }
 
-// statusWriter captures the status code for request logging.
+// statusWriter captures the status code and the terminating middleware's
+// cause tag for request logging.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	cause  string
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -41,6 +44,24 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+func (w *statusWriter) setCause(c string) {
+	if w.cause == "" {
+		w.cause = c
+	}
+}
+
+// causeSetter lets inner middleware tag why they terminated a request
+// (shed, timeout, not-ready, panic); RequestLog's statusWriter implements
+// it and carries the tag into the structured log line. setCause is a
+// no-op when the writer is not wrapped (a chain without RequestLog).
+type causeSetter interface{ setCause(string) }
+
+func setCause(w http.ResponseWriter, cause string) {
+	if cs, ok := w.(causeSetter); ok {
+		cs.setCause(cause)
+	}
+}
+
 // Recover turns a handler panic into a 500 and a log line instead of a
 // dead connection (and, under http.Server, a noisy stack): one poisoned
 // request poisons one response, not the daemon.
@@ -49,6 +70,7 @@ func (s *Server) Recover(next http.Handler) http.Handler {
 		defer func() {
 			if p := recover(); p != nil {
 				s.panics.Add(1)
+				setCause(w, "panic")
 				s.logf("panic serving %s %s: %v", r.Method, r.URL.Path, p)
 				writeJSONError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p))
 			}
@@ -57,17 +79,44 @@ func (s *Server) Recover(next http.Handler) http.Handler {
 	})
 }
 
-// RequestLog logs method, path, status and latency per request.
+// RequestLog is the observation middleware: it tracks the in-flight
+// gauge, feeds the per-route latency histogram and response counter, and
+// emits one structured key=value line per request — route, method,
+// status, the latency's histogram bucket (so log lines group exactly the
+// way /metrics buckets do) and the terminating cause (ok, shed, timeout,
+// not-ready, panic). It sits outermost so a request a later middleware
+// refuses is still counted and logged with its cause.
 func (s *Server) RequestLog(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := r.URL.Path
+		s.metrics.inflight.Inc()
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		s.logf("%s %s %d %.1fms", r.Method, r.URL.Path, sw.status, float64(time.Since(start).Microseconds())/1000)
+		lat := time.Since(start).Seconds()
+		s.metrics.inflight.Dec()
+		s.metrics.requests.With(route, strconv.Itoa(sw.status)).Inc()
+		hist := s.metrics.latency.With(route)
+		hist.Observe(lat)
+		cause := sw.cause
+		if cause == "" {
+			cause = "ok"
+		}
+		s.logf("http route=%s method=%s status=%d latency_bucket=%s cause=%s",
+			route, r.Method, sw.status, formatBucket(hist.BucketUpper(lat)), cause)
 	})
+}
+
+// formatBucket renders a latency bucket upper bound the way the
+// exposition does ("0.001", "+Inf").
+func formatBucket(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
 }
 
 // timeoutWriter buffers a handler's response so a late write after the
@@ -148,6 +197,7 @@ func (s *Server) Timeout(d time.Duration) Middleware {
 				tw.timedOut = true
 				tw.mu.Unlock()
 				s.timeouts.Add(1)
+				setCause(w, "timeout")
 				writeJSONError(w, http.StatusGatewayTimeout,
 					fmt.Sprintf("request exceeded %s", d))
 			}
@@ -204,6 +254,7 @@ func (s *Server) Admit(next http.Handler) http.Handler {
 		ok, retry := s.bucket.take()
 		if !ok {
 			s.shed.Add(1)
+			setCause(w, "shed")
 			secs := int(math.Ceil(retry.Seconds()))
 			if secs < 1 {
 				secs = 1

@@ -33,6 +33,7 @@ import (
 	"coradd/internal/designer"
 	"coradd/internal/durable"
 	"coradd/internal/fault"
+	"coradd/internal/obs"
 	"coradd/internal/query"
 	"coradd/internal/workload"
 )
@@ -72,6 +73,19 @@ type Config struct {
 	OnCrash func(error)
 	// Now is the clock used by the admission bucket; nil means time.Now.
 	Now func() time.Time
+	// Metrics, when non-nil, exports request latency histograms, the
+	// server's lifetime counters, ObjectCache stats and (via Adapt) the
+	// controller's metrics, and serves the registry at /metrics in
+	// Prometheus text format. nil is free: nil handles, no-op updates,
+	// no /metrics route.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives the controller's structured events;
+	// the most recent ones are rendered in /statusz.
+	Trace *obs.Tracer
+	// Pprof mounts net/http/pprof under /debug/pprof/ — off by default:
+	// profiling endpoints expose stacks and heap contents, so they are
+	// opt-in (the daemon's -pprof flag).
+	Pprof bool
 }
 
 func (c *Config) fill() {
@@ -89,6 +103,15 @@ func (c *Config) fill() {
 	// measured twice per design.
 	if c.Adapt.Cache == nil {
 		c.Adapt.Cache = designer.NewObjectCache()
+	}
+	// The controller inherits the server's registry and tracer (unless
+	// the caller wired its own), so one /metrics scrape covers both
+	// layers and /statusz can render the controller's trace.
+	if c.Adapt.Metrics == nil {
+		c.Adapt.Metrics = c.Metrics
+	}
+	if c.Adapt.Trace == nil {
+		c.Adapt.Trace = c.Trace
 	}
 }
 
@@ -117,6 +140,14 @@ type Status struct {
 	// consumed (Served − Observed − Dropped are still queued); Dropped
 	// observations lost to a full queue; Shed requests refused with 503;
 	// Timeouts requests cut with 504; Panics recovered handler panics.
+	//
+	// All six are process-lifetime monotonic counters: they only ever
+	// increase while the process lives, are never reset by drain,
+	// migration, resume or any other runtime event, and return to zero
+	// only when the process restarts. /metrics exports the same atomics
+	// as Prometheus counters (coradd_server_*_total), so rate() and
+	// increase() work across scrapes and treat a restart as an ordinary
+	// counter reset.
 	Served   int64 `json:"served"`
 	Observed int64 `json:"observed"`
 	Dropped  int64 `json:"dropped"`
@@ -138,6 +169,9 @@ type Status struct {
 	Redesigns  int      `json:"redesigns"`
 	Replans    int      `json:"replans"`
 	Checkpoint string   `json:"checkpoint,omitempty"`
+	// Trace is the tail of the structured event trace (Config.Trace),
+	// one rendered key=value line per event, oldest first.
+	Trace []string `json:"trace,omitempty"`
 }
 
 // Server is the daemon core: handlers, middleware and the controller
@@ -175,6 +209,10 @@ type Server struct {
 	sinceCkpt  int
 	lastDeploy *designer.Design
 	lastMig    bool
+
+	// metrics holds the per-request handles (metrics.go); all nil — and
+	// all updates no-ops — when Config.Metrics is unset.
+	metrics srvObs
 }
 
 // NewStarting builds a server that can answer /healthz and /readyz
@@ -191,6 +229,7 @@ func NewStarting(cfg Config) *Server {
 		bucket:   newTokenBucket(cfg.RateLimit, cfg.Burst, cfg.Now),
 	}
 	s.state.Store("starting")
+	s.initObs()
 	s.routes()
 	return s
 }
@@ -281,9 +320,10 @@ func (s *Server) Status() Status {
 		st.Panics = s.panics.Load()
 		st.Ready = s.ready.Load()
 		st.State = s.state.Load().(string)
+		st.Trace = s.recentTrace()
 		return st
 	}
-	return Status{State: s.state.Load().(string)}
+	return Status{State: s.state.Load().(string), Trace: s.recentTrace()}
 }
 
 // Shutdown drains gracefully: readiness flips off (load balancers stop
@@ -512,6 +552,26 @@ func (s *Server) resolve(body []byte) (*query.Query, error) {
 		return nil, errors.New("query reads no columns")
 	}
 	return &q, nil
+}
+
+// statuszTraceEvents bounds how many trace events /statusz renders.
+const statuszTraceEvents = 32
+
+// recentTrace renders the tail of the structured trace for /statusz,
+// oldest first; nil without a configured tracer.
+func (s *Server) recentTrace() []string {
+	if s.cfg.Trace == nil {
+		return nil
+	}
+	evs := s.cfg.Trace.Recent(statuszTraceEvents)
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = e.String()
+	}
+	return out
 }
 
 func (s *Server) logf(format string, args ...any) {

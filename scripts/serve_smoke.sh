@@ -45,6 +45,25 @@ done
 DESIGN1=$(curl -fsS "$URL/statusz" | sed 's/.*"design":"\([^"]*\)".*/\1/')
 echo "serving design: $DESIGN1"
 
+echo "== /metrics after load =="
+# The scrape must be Prometheus text and the request-latency histogram
+# must have counted the queries above — non-zero /query samples prove
+# the instrumentation path end to end.
+METRICS=$(curl -fsS "$URL/metrics")
+echo "$METRICS" | grep -q '^# TYPE coradd_http_request_seconds histogram' \
+    || { echo "/metrics missing request histogram family" >&2; exit 1; }
+QCOUNT=$(echo "$METRICS" | sed -n 's/^coradd_http_request_seconds_count{route="\/query"} //p')
+case "$QCOUNT" in
+    ''|0) echo "/metrics request histogram empty for /query: '$QCOUNT'" >&2; exit 1;;
+esac
+echo "$METRICS" | grep -q '^coradd_server_served_total [1-9]' \
+    || { echo "/metrics served counter did not move" >&2; exit 1; }
+echo "request histogram count for /query: $QCOUNT"
+# pprof must be absent without -pprof.
+if curl -fsS "$URL/debug/pprof/" >/dev/null 2>&1; then
+    echo "/debug/pprof/ mounted without -pprof" >&2; exit 1
+fi
+
 echo "== SIGTERM drain =="
 kill -TERM $PID
 wait $PID || { echo "drain exited non-zero" >&2; exit 1; }
