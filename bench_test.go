@@ -181,3 +181,12 @@ func BenchmarkAblationServing(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkAblationTenant(b *testing.B) {
+	s := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exp.TenantAblation(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,7 +8,7 @@
 //
 // where id selects one experiment: table1, fig5, fig6, fig7, fig9, fig10,
 // fig11, fig13, fig14, a3, relax, merge, cidx, deploy, adapt, chaos,
-// serving, all (default all).
+// serving, tenant, all (default all).
 //
 // Flags:
 //
@@ -46,6 +46,13 @@
 //	                        unlimited; unset = the 1 GiB default).
 //	                        Negative or non-integer values are rejected
 //	                        at startup — see designer.ObjectCache.
+//	CORADD_TENANT_WORKERS   worker count for the tenant ablation's
+//	                        cross-tenant fan-outs (pool mining and the
+//	                        dual's per-probe subproblem solves). A
+//	                        non-negative integer; 0/unset = one per CPU.
+//	                        Results are identical at any setting.
+//	                        Negative or non-integer values are rejected
+//	                        at startup — see exp.ParseTenantWorkers.
 package main
 
 import (
@@ -61,7 +68,7 @@ import (
 func main() {
 	full := flag.Bool("full", false, "use the larger paper-like scale (slower)")
 	chrono := flag.Bool("chrono", false, "chronologically loaded SSB (load-order correlation scenario)")
-	run := flag.String("run", "all", "experiment id: table1,fig5,fig6,fig7,fig9,fig10,fig11,fig13,fig14,a3,relax,merge,cidx,deploy,adapt,chaos,serving,all")
+	run := flag.String("run", "all", "experiment id: table1,fig5,fig6,fig7,fig9,fig10,fig11,fig13,fig14,a3,relax,merge,cidx,deploy,adapt,chaos,serving,tenant,all")
 	ssbRows := flag.Int("ssbrows", 0, "override SSB fact rows")
 	apbRows := flag.Int("apbrows", 0, "override APB fact rows")
 	optQueries := flag.Int("optqueries", 8, "workload size for the Figure 7 OPT brute force")
@@ -230,6 +237,14 @@ func main() {
 	})
 	step("serving", func() error {
 		_, t, err := exp.ServingLatency(scale)
+		if err != nil {
+			return err
+		}
+		t.Print(out)
+		return nil
+	})
+	step("tenant", func() error {
+		_, t, err := exp.TenantAblation(scale)
 		if err != nil {
 			return err
 		}

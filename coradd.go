@@ -42,6 +42,7 @@ import (
 	"coradd/internal/ssb"
 	"coradd/internal/stats"
 	"coradd/internal/storage"
+	"coradd/internal/tenant"
 	"coradd/internal/value"
 	"coradd/internal/workload"
 )
@@ -158,6 +159,25 @@ type (
 	EventTracer = obs.Tracer
 	// TraceEvent is one recorded tracer event.
 	TraceEvent = obs.Event
+	// TenantCoordinator is the multi-tenant design coordinator
+	// (internal/tenant): N per-tenant workload monitors feed mined
+	// candidate pools, and one shared space budget is split across tenants
+	// by Lagrangian decomposition — dual ascent on a single multiplier λ
+	// with per-tenant penalized ILP subproblems — with a reported duality
+	// gap, falling back to a monolithic pooled exact solve when small.
+	TenantCoordinator = tenant.Coordinator
+	// TenantConfig tunes a TenantCoordinator (global budget, mining
+	// thresholds, dual iterations, the monolithic-fallback limit).
+	TenantConfig = tenant.Config
+	// Tenant is one registered tenant workload: its monitor and its
+	// accumulated mined candidate pool.
+	Tenant = tenant.Tenant
+	// TenantAllocation is one shared-budget redesign outcome: per-tenant
+	// designs with their budget shares plus the dual's certificate
+	// (λ, duality gap, iteration and node counts).
+	TenantAllocation = tenant.Allocation
+	// TenantResult is one tenant's slice of a TenantAllocation.
+	TenantResult = tenant.TenantResult
 )
 
 // ErrCrash is the injected-crash sentinel: an AdaptiveController whose
@@ -569,6 +589,22 @@ func (s *System) ServeAdaptive(initial *Design, cp *Checkpoint, cfg ServerConfig
 		return nil, err
 	}
 	return srv, nil
+}
+
+// MultiTenant builds a multi-tenant design coordinator: register tenant
+// workloads with AddTenant (or TenantCoordinator.Add over any substrate),
+// feed their query streams through Tenant.Observe, and each Redesign
+// splits cfg.Budget across all tenants at once — by Lagrangian dual
+// ascent over per-tenant subproblems, with the reported duality gap
+// bounding the distance to the pooled optimum.
+func MultiTenant(cfg TenantConfig) *TenantCoordinator { return tenant.New(cfg) }
+
+// AddTenant registers a tenant running this system's fact table and
+// statistics under co, monitored on the injected clock (seconds; inject a
+// fake for deterministic replays). The tenant's workload is whatever its
+// monitor observes — this system's configured workload is not consulted.
+func (s *System) AddTenant(co *TenantCoordinator, name string, mcfg MonitorConfig, clock func() float64) (*Tenant, error) {
+	return co.Add(name, s.coradd.Common, mcfg, clock)
 }
 
 // DiscoverCorrelations runs the CORDS-style discovery pass over the fact

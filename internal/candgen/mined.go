@@ -1,0 +1,126 @@
+package candgen
+
+import (
+	"fmt"
+
+	"coradd/internal/costmodel"
+)
+
+// MinedConfig tunes MinedCandidates.
+type MinedConfig struct {
+	// T is the number of clusterings kept per mined query group; 0 means
+	// the generator's Cfg.T.
+	T int
+	// MaxSets caps how many frequent sets are consumed, in the caller's
+	// ranking order; 0 means 32.
+	MaxSets int
+}
+
+// MinedCandidates is the cheap mining-based emission path (Aouiche &
+// Darmont): instead of the full §4 pipeline — k-means sweeps over every
+// (α, k) cell — it takes externally mined frequent predicate-column sets
+// (internal/workload.Monitor.FrequentSets, passed as column-name lists)
+// and emits candidates only for query groups supported by the observed
+// workload: for each frequent set, the group of queries predicated on
+// every column of the set gets its GroupDesigns clusterings, and each
+// frequent singleton additionally proposes the fact-table re-clustering
+// on that column. Candidates are deduplicated by structural key within
+// the call.
+//
+// Output is deterministic for a fixed (workload, sets, config): group
+// membership, clustering search and naming involve no randomness, so one
+// template stream mines one pool bit for bit.
+func (g *Generator) MinedCandidates(sets [][]string, cfg MinedConfig) []*costmodel.MVDesign {
+	t := cfg.T
+	if t <= 0 {
+		t = g.Cfg.T
+	}
+	maxSets := cfg.MaxSets
+	if maxSets <= 0 {
+		maxSets = 32
+	}
+
+	// Per-query predicate-column positions, resolved once.
+	predCols := make([]map[int]bool, len(g.W))
+	for i, q := range g.W {
+		cols := make(map[int]bool, len(q.Predicates))
+		for j := range q.Predicates {
+			if c := g.St.Rel.Schema.Col(q.Predicates[j].Col); c >= 0 {
+				cols[c] = true
+			}
+		}
+		predCols[i] = cols
+	}
+
+	seen := make(map[string]bool)
+	var out []*costmodel.MVDesign
+	add := func(d *costmodel.MVDesign) {
+		if d == nil || seen[d.Key()] {
+			return
+		}
+		seen[d.Key()] = true
+		out = append(out, d)
+	}
+
+	consumed := 0
+	for _, set := range sets {
+		if consumed >= maxSets {
+			break
+		}
+		// Resolve the set's columns; a set naming a column this fact table
+		// does not have cannot group its queries and is skipped whole.
+		pos := make([]int, 0, len(set))
+		ok := true
+		for _, name := range set {
+			c := g.St.Rel.Schema.Col(name)
+			if c < 0 {
+				ok = false
+				break
+			}
+			pos = append(pos, c)
+		}
+		if !ok || len(pos) == 0 {
+			continue
+		}
+		// Supporting group: queries predicated on every column of the set.
+		var group []int
+		for i := range g.W {
+			supports := true
+			for _, c := range pos {
+				if !predCols[i][c] {
+					supports = false
+					break
+				}
+			}
+			if supports {
+				group = append(group, i)
+			}
+		}
+		if len(group) == 0 {
+			continue
+		}
+		consumed++
+		for _, d := range g.GroupDesigns(group, t) {
+			add(d)
+		}
+		// A frequent singleton is the mining-path analogue of §4.3's
+		// per-predicated-attribute fact re-clustering.
+		if len(pos) == 1 {
+			g.nameSeq++
+			ncols := len(g.St.Rel.Schema.Columns)
+			allCols := make([]int, ncols)
+			for i := range allCols {
+				allCols[i] = i
+			}
+			add(&costmodel.MVDesign{
+				Name:          fmt.Sprintf("fact%d_on_%s", g.nameSeq, g.St.Rel.Schema.Columns[pos[0]].Name),
+				Cols:          allCols,
+				ClusterKey:    []int{pos[0]},
+				FactRecluster: true,
+				PKCols:        g.PKCols,
+				FactGroup:     g.FactGroup,
+			})
+		}
+	}
+	return out
+}

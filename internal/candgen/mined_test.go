@@ -1,0 +1,90 @@
+package candgen
+
+import (
+	"testing"
+)
+
+// TestMinedCandidatesDeterministic: same workload + same frequent sets ⇒
+// identical pools, names included (the mined path has no RNG at all).
+func TestMinedCandidatesDeterministic(t *testing.T) {
+	sets := [][]string{{"a", "c"}, {"c"}, {"a"}}
+	build := func() []string {
+		g, _ := genEnv(t, 8000)
+		var keys []string
+		for _, d := range g.MinedCandidates(sets, MinedConfig{}) {
+			keys = append(keys, d.Name+"§"+d.Key())
+		}
+		return keys
+	}
+	a, b := build(), build()
+	if len(a) == 0 {
+		t.Fatal("mined no candidates")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("pool sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pool entry %d differs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestMinedCandidatesSupportedOnly: every mined MV serves a query group
+// actually supported by the observed workload, singleton sets propose the
+// fact re-clustering on their column, and unknown/unsupported sets emit
+// nothing.
+func TestMinedCandidatesSupportedOnly(t *testing.T) {
+	g, st := genEnv(t, 8000)
+	out := g.MinedCandidates([][]string{{"c"}, {"a", "c"}}, MinedConfig{})
+	if len(out) == 0 {
+		t.Fatal("mined no candidates")
+	}
+	sawFactOnC, sawMV := false, false
+	cPos := st.Rel.Schema.Col("c")
+	for _, d := range out {
+		if d.FactRecluster {
+			if len(d.ClusterKey) == 1 && d.ClusterKey[0] == cPos {
+				sawFactOnC = true
+			}
+			continue
+		}
+		sawMV = true
+		if len(d.Queries) == 0 {
+			t.Fatalf("mined MV %s has no supporting queries", d.Name)
+		}
+		// {a,c} supports exactly q1 (index 0); {c} supports q1, q2, q4.
+		for _, qi := range d.Queries {
+			if qi != 0 && qi != 1 && qi != 3 {
+				t.Fatalf("mined MV %s groups unsupported query %d", d.Name, qi)
+			}
+		}
+	}
+	if !sawFactOnC {
+		t.Fatal("singleton set {c} did not propose the fact re-clustering on c")
+	}
+	if !sawMV {
+		t.Fatal("no plain MV candidates mined")
+	}
+
+	// A set naming a column the schema lacks, or supported by no query,
+	// emits nothing.
+	if out := g.MinedCandidates([][]string{{"nosuch"}, {"d"}}, MinedConfig{}); len(out) != 0 {
+		t.Fatalf("unsupported sets mined %d candidates", len(out))
+	}
+}
+
+// TestMinedCandidatesMaxSets: the cap consumes sets in ranking order.
+func TestMinedCandidatesMaxSets(t *testing.T) {
+	g, _ := genEnv(t, 8000)
+	one := g.MinedCandidates([][]string{{"a", "c"}, {"c"}}, MinedConfig{MaxSets: 1})
+	for _, d := range one {
+		if d.FactRecluster {
+			t.Fatal("MaxSets=1 should consume only {a,c}, which is not a singleton")
+		}
+	}
+	all := g.MinedCandidates([][]string{{"a", "c"}, {"c"}}, MinedConfig{})
+	if len(all) <= len(one) {
+		t.Fatalf("cap did not bind: %d vs %d", len(all), len(one))
+	}
+}

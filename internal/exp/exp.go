@@ -180,6 +180,44 @@ func solverWorkers() int {
 	return n
 }
 
+// tenantWorkersEnv names the multi-tenant coordinator's cross-tenant
+// fan-out worker-count override.
+const tenantWorkersEnv = "CORADD_TENANT_WORKERS"
+
+// ParseTenantWorkers validates a CORADD_TENANT_WORKERS value: a base-10
+// worker count ≥ 0, where 0 means one worker per CPU and 1 forces the
+// sequential fan-out. Negative and garbage values are errors — an
+// operator typo must fail loudly, not silently fall back to a default
+// that masks the intent (the ParseSolverWorkers contract).
+func ParseTenantWorkers(v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("%s=%q: not a base-10 worker count: %v", tenantWorkersEnv, v, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("%s=%q: worker count cannot be negative (unset it or use 0 for one per CPU)", tenantWorkersEnv, v)
+	}
+	return n, nil
+}
+
+// tenantWorkers reads the CORADD_TENANT_WORKERS override: the worker
+// count for the tenant coordinator's cross-tenant fan-outs (pool mining
+// and the dual's per-probe subproblem solves). Unset or 0 means one per
+// CPU. Results are identical at any setting — the coordinator's
+// determinism discipline — only wall time changes. An invalid value
+// panics with the ParseTenantWorkers error.
+func tenantWorkers() int {
+	v := os.Getenv(tenantWorkersEnv)
+	if v == "" {
+		return 0
+	}
+	n, err := ParseTenantWorkers(v)
+	if err != nil {
+		panic("exp: " + err.Error())
+	}
+	return n
+}
+
 // solverMaxNodes reads the CORADD_SOLVER_MAXNODES override: the
 // branch-and-bound node cap for every exact solve the experiment drivers
 // run (0/unset keeps the 5M default, negative means unlimited). The

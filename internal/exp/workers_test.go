@@ -58,3 +58,60 @@ func TestSolverWorkersEnv(t *testing.T) {
 		}()
 	}
 }
+
+// TestParseTenantWorkers pins the CORADD_TENANT_WORKERS validation:
+// non-negative integers parse (0 meaning one worker per CPU); negatives
+// and garbage are rejected with a clear error instead of silently
+// running a default fan-out (the ParseSolverWorkers contract).
+func TestParseTenantWorkers(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"1", 1, true},
+		{"4", 4, true},
+		{"16", 16, true},
+		{"-1", 0, false},
+		{"-4", 0, false},
+		{"", 0, false},
+		{"four", 0, false},
+		{"4.0", 0, false},
+		{"4 ", 0, false},
+		{"0x4", 0, false},
+	} {
+		got, err := ParseTenantWorkers(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseTenantWorkers(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseTenantWorkers(%q) accepted, want error", tc.in)
+		}
+	}
+}
+
+// TestTenantWorkersEnv: a valid override is honored, unset means one per
+// CPU, and a malformed one must fail loudly at coordinator-build time
+// rather than silently losing the requested fan-out width.
+func TestTenantWorkersEnv(t *testing.T) {
+	t.Setenv(tenantWorkersEnv, "")
+	if n := tenantWorkers(); n != 0 {
+		t.Fatalf("unset: tenantWorkers() = %d, want 0", n)
+	}
+	t.Setenv(tenantWorkersEnv, "8")
+	if n := tenantWorkers(); n != 8 {
+		t.Fatalf("valid override ignored: tenantWorkers() = %d, want 8", n)
+	}
+	for _, bad := range []string{"-2", "many", "2.5"} {
+		t.Setenv(tenantWorkersEnv, bad)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s=%q: tenantWorkers did not panic", tenantWorkersEnv, bad)
+				}
+			}()
+			tenantWorkers()
+		}()
+	}
+}

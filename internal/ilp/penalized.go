@@ -1,0 +1,369 @@
+package ilp
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// SolvePenalized solves the per-tenant Lagrangian subproblem of the
+// multi-tenant decomposition (internal/tenant, dual.go): minimize
+//
+//	obj(S) + lambda · size(S)
+//
+// subject to size(S) ≤ p.Budget and the fact-group exclusion rule. The
+// returned Solution reports the *unpenalized* objective obj(S) — the same
+// semantics as Solve — so callers recover the Lagrangian value as
+// Objective + lambda·Size; with lambda = 0 the call delegates to Solve
+// outright and the two are interchangeable.
+//
+// The search is a compact sequential branch-and-bound: the instances this
+// exists for are per-tenant pools of a few dozen candidates, where the
+// decomposition parallelizes across tenants (par.ForEach in dual.go)
+// rather than inside one subproblem, so opts.Workers is ignored here. The
+// admissible node bound is the greedy per-query relaxation of Solve plus
+// lambda times the already-included size: future includes only add
+// penalty, so dropping their penalty term keeps the bound optimistic.
+//
+// Submodularity pre-prune: a candidate's marginal benefit in any set is at
+// most its solo benefit Σ_q w_q·max(0, base_q − t_q). A candidate whose
+// solo benefit does not exceed lambda·size can never pay its penalty and
+// is dropped up front — the lever that keeps high-λ probes near-free.
+func SolvePenalized(p *Problem, lambda float64, opts SolveOptions) *Solution {
+	if lambda <= 0 {
+		return Solve(p, opts)
+	}
+
+	ps := newPenSolver(p, lambda, opts)
+	ps.seedIncumbent(opts.WarmStart)
+	times := make([]float64, ps.nQ)
+	copy(times, p.Base)
+	ps.dfs(0, 0, times, ps.objectiveOf(times), nil, map[int]bool{})
+
+	chosen := append([]int(nil), ps.bestChosen...)
+	sort.Ints(chosen)
+	return &Solution{
+		Chosen:           chosen,
+		Objective:        p.Objective(chosen),
+		Size:             p.SizeOf(chosen),
+		Proven:           ps.proven,
+		Nodes:            ps.nodes,
+		Pruned:           ps.pruned,
+		IncumbentUpdates: ps.incumbents,
+		PerQuery:         perQueryRouting(p, chosen),
+	}
+}
+
+// penSolver is the penalized search state. It deliberately does not share
+// the incremental-bound machinery of solver: per-tenant instances are
+// small, and keeping the two searches independent preserves the
+// byte-identical behaviour of the existing Solve pipeline.
+type penSolver struct {
+	p      *Problem
+	lambda float64
+	nQ     int
+
+	order     []int       // alive candidates, benefit density descending
+	alive     []bool      // alive[m]: survived the submodularity pre-prune
+	perQ      [][]int     // per query: alive candidates by ascending time
+	perQTimes [][]float64 // runtimes aligned with perQ
+	weights   []float64
+	sizes     []int64
+	amort     []float64 // λ·size_m / #queries m can improve (see bound)
+	decided   []int8    // 0 undecided, 1 included, 2 excluded
+
+	maxNodes  int
+	deadline  time.Time
+	interrupt func(nodes int) bool
+
+	nodes      int
+	pruned     int
+	incumbents int
+	proven     bool
+	bestObj    float64 // penalized: obj + λ·size
+	bestChosen []int
+}
+
+func newPenSolver(p *Problem, lambda float64, opts SolveOptions) *penSolver {
+	nQ := p.numQueries()
+	ps := &penSolver{p: p, lambda: lambda, nQ: nQ, proven: true}
+	ps.weights = make([]float64, nQ)
+	for q := 0; q < nQ; q++ {
+		ps.weights[q] = p.weight(q)
+	}
+	ps.sizes = make([]int64, len(p.Cands))
+	ps.alive = make([]bool, len(p.Cands))
+	type scored struct {
+		idx     int
+		density float64
+	}
+	var sc []scored
+	for m := range p.Cands {
+		ps.sizes[m] = p.Cands[m].Size
+		if p.Cands[m].Size > p.Budget {
+			continue
+		}
+		solo := 0.0
+		for q := 0; q < nQ; q++ {
+			if t := p.Cands[m].Times[q]; t < p.Base[q] {
+				solo += ps.weights[q] * (p.Base[q] - t)
+			}
+		}
+		// Pays for neither its penalty nor (solo == 0) any query: drop.
+		if solo <= lambda*float64(p.Cands[m].Size) {
+			continue
+		}
+		ps.alive[m] = true
+		size := float64(p.Cands[m].Size)
+		if size < 1 {
+			size = 1
+		}
+		sc = append(sc, scored{m, solo / size})
+	}
+	sort.SliceStable(sc, func(i, j int) bool { return sc[i].density > sc[j].density })
+	ps.order = make([]int, len(sc))
+	for i, s := range sc {
+		ps.order[i] = s.idx
+	}
+	ps.decided = make([]int8, len(p.Cands))
+
+	// Amortized penalty shares: candidate m improves K_m queries at most,
+	// so charging each of those queries λ·size_m/K_m never exceeds m's
+	// real penalty λ·size_m — the admissible future-penalty term of bound.
+	ps.amort = make([]float64, len(p.Cands))
+	for m := range p.Cands {
+		if !ps.alive[m] {
+			continue
+		}
+		k := 0
+		for q := 0; q < nQ; q++ {
+			if p.Cands[m].Times[q] < p.Base[q] {
+				k++
+			}
+		}
+		if k > 0 {
+			ps.amort[m] = lambda * float64(p.Cands[m].Size) / float64(k)
+		}
+	}
+
+	ps.perQ = make([][]int, nQ)
+	ps.perQTimes = make([][]float64, nQ)
+	for q := 0; q < nQ; q++ {
+		var idx []int
+		for m := range p.Cands {
+			if ps.alive[m] && p.Cands[m].Times[q] < Infeasible {
+				idx = append(idx, m)
+			}
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			return p.Cands[idx[a]].Times[q] < p.Cands[idx[b]].Times[q]
+		})
+		ts := make([]float64, len(idx))
+		for r, m := range idx {
+			ts[r] = p.Cands[m].Times[q]
+		}
+		ps.perQ[q] = idx
+		ps.perQTimes[q] = ts
+	}
+
+	ps.maxNodes = opts.MaxNodes
+	if ps.maxNodes == 0 {
+		ps.maxNodes = 5_000_000
+	} else if ps.maxNodes < 0 {
+		ps.maxNodes = math.MaxInt
+	}
+	if opts.TimeLimit > 0 {
+		ps.deadline = time.Now().Add(opts.TimeLimit)
+	}
+	ps.interrupt = opts.Interrupt
+	return ps
+}
+
+func (ps *penSolver) objectiveOf(times []float64) float64 {
+	cur := 0.0
+	for q, t := range times {
+		cur += ps.weights[q] * t
+	}
+	return cur
+}
+
+// penalizedValue is obj(chosen) + λ·size(chosen), summed in the fixed
+// query order so repeated evaluations are bit-equal.
+func (ps *penSolver) penalizedValue(chosen []int) float64 {
+	return ps.p.Objective(chosen) + ps.lambda*float64(ps.p.SizeOf(chosen))
+}
+
+// seedIncumbent installs the better of the penalized greedy solution and
+// the clipped warm-start subset as the initial incumbent.
+func (ps *penSolver) seedIncumbent(warm []int) {
+	ps.bestChosen = nil
+	ps.bestObj = ps.penalizedValue(nil)
+
+	// Penalized greedy: repeatedly add the candidate with the best
+	// marginal gain net of its penalty, while positive. Deterministic
+	// tie-break by candidate index.
+	times := make([]float64, ps.nQ)
+	copy(times, ps.p.Base)
+	var chosen []int
+	var used int64
+	factUsed := map[int]bool{}
+	inSet := make([]bool, len(ps.p.Cands))
+	for {
+		best, bestGain := -1, 0.0
+		for _, m := range ps.order {
+			if inSet[m] || used+ps.sizes[m] > ps.p.Budget {
+				continue
+			}
+			if g := ps.p.Cands[m].FactGroup; g > 0 && factUsed[g] {
+				continue
+			}
+			gain := -ps.lambda * float64(ps.sizes[m])
+			for q := 0; q < ps.nQ; q++ {
+				if t := ps.p.Cands[m].Times[q]; t < times[q] {
+					gain += ps.weights[q] * (times[q] - t)
+				}
+			}
+			if gain > bestGain+1e-12 {
+				best, bestGain = m, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		inSet[best] = true
+		chosen = append(chosen, best)
+		used += ps.sizes[best]
+		if g := ps.p.Cands[best].FactGroup; g > 0 {
+			factUsed[g] = true
+		}
+		for q := 0; q < ps.nQ; q++ {
+			if t := ps.p.Cands[best].Times[q]; t < times[q] {
+				times[q] = t
+			}
+		}
+	}
+	if v := ps.penalizedValue(chosen); v < ps.bestObj-1e-12 {
+		ps.bestObj, ps.bestChosen = v, chosen
+	}
+
+	// Warm start: clip to alive, fitting, fact-group-feasible candidates
+	// in the given order, then adopt if it beats the greedy seed.
+	if len(warm) > 0 {
+		var wc []int
+		var wUsed int64
+		wFact := map[int]bool{}
+		for _, m := range warm {
+			if m < 0 || m >= len(ps.p.Cands) || !ps.alive[m] {
+				continue
+			}
+			if wUsed+ps.sizes[m] > ps.p.Budget {
+				continue
+			}
+			if g := ps.p.Cands[m].FactGroup; g > 0 && wFact[g] {
+				continue
+			}
+			wc = append(wc, m)
+			wUsed += ps.sizes[m]
+			if g := ps.p.Cands[m].FactGroup; g > 0 {
+				wFact[g] = true
+			}
+		}
+		if v := ps.penalizedValue(wc); v < ps.bestObj-1e-12 {
+			ps.bestObj, ps.bestChosen = v, wc
+		}
+	}
+}
+
+// bound is the admissible node bound: the greedy per-query relaxation
+// plus the penalty already committed plus an amortized share of each
+// future include's penalty. A query may be served by the current times
+// (no extra cost), an already-included candidate (penalty already in
+// λ·usedSize) or an undecided one — the latter charged λ·size_m/K_m,
+// where K_m counts the queries m can improve. Any completion S pays
+// λ·size_m in full for each chosen m while at most K_m of its queries
+// collect the share, so the relaxation stays a true lower bound on
+// obj(S) + λ·size(S).
+func (ps *penSolver) bound(times []float64, usedSize int64) float64 {
+	remaining := ps.p.Budget - usedSize
+	total := ps.lambda * float64(usedSize)
+	for q, cur := range times {
+		w := ps.weights[q]
+		best := w * cur
+		ts := ps.perQTimes[q]
+		for r, m := range ps.perQ[q] {
+			wt := w * ts[r]
+			if wt >= best {
+				break // ascending times; every later cost is ≥ wt ≥ best
+			}
+			if ps.decided[m] == 2 || ps.sizes[m] > remaining {
+				continue
+			}
+			cost := wt
+			if ps.decided[m] != 1 {
+				cost += ps.amort[m]
+			}
+			if cost < best {
+				best = cost
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+// dfs explores decisions for order[pos:]. cur is the penalized value of
+// the current chosen set: weighted times plus λ·usedSize.
+func (ps *penSolver) dfs(pos int, usedSize int64, times []float64, cur float64, chosen []int, factUsed map[int]bool) {
+	ps.nodes++
+	if ps.nodes > ps.maxNodes ||
+		(!ps.deadline.IsZero() && ps.nodes%1024 == 0 && time.Now().After(ps.deadline)) ||
+		(ps.interrupt != nil && ps.interrupt(ps.nodes)) {
+		ps.proven = false
+		return
+	}
+	if cur < ps.bestObj-1e-12 {
+		ps.bestObj = cur
+		ps.bestChosen = append([]int(nil), chosen...)
+		ps.incumbents++
+	}
+	if pos >= len(ps.order) {
+		return
+	}
+	if ps.bound(times, usedSize) >= ps.bestObj-1e-12 {
+		ps.pruned++
+		return
+	}
+	m := ps.order[pos]
+	cand := &ps.p.Cands[m]
+	fits := usedSize+cand.Size <= ps.p.Budget
+	factOK := cand.FactGroup <= 0 || !factUsed[cand.FactGroup]
+
+	if fits && factOK {
+		ps.decided[m] = 1
+		newTimes := make([]float64, ps.nQ)
+		improved := false
+		newObj := 0.0
+		for q, t := range times {
+			if tc := cand.Times[q]; tc < t {
+				t = tc
+				improved = true
+			}
+			newTimes[q] = t
+			newObj += ps.weights[q] * t
+		}
+		if improved {
+			newObj += ps.lambda * float64(usedSize+cand.Size)
+			if cand.FactGroup > 0 {
+				factUsed[cand.FactGroup] = true
+			}
+			ps.dfs(pos+1, usedSize+cand.Size, newTimes, newObj, append(chosen, m), factUsed)
+			if cand.FactGroup > 0 {
+				delete(factUsed, cand.FactGroup)
+			}
+		}
+		ps.decided[m] = 0
+	}
+	ps.decided[m] = 2
+	ps.dfs(pos+1, usedSize, times, cur, chosen, factUsed)
+	ps.decided[m] = 0
+}

@@ -1,0 +1,348 @@
+package tenant
+
+import (
+	"math/rand"
+	"testing"
+
+	"coradd/internal/designer"
+	"coradd/internal/ilp"
+	"coradd/internal/query"
+	"coradd/internal/schema"
+	"coradd/internal/stats"
+	"coradd/internal/storage"
+	"coradd/internal/value"
+	"coradd/internal/workload"
+)
+
+// fakeClock is a hand-advanced clock shared by a test's monitors.
+type fakeClock struct{ t float64 }
+
+func (c *fakeClock) now() float64 { return c.t }
+
+// testCommon builds a small fact table t(a, b, c, d, pk) with b = a/10,
+// seeded per tenant so tenants differ deterministically.
+func testCommon(tb testing.TB, seed int64, n int) designer.Common {
+	tb.Helper()
+	s := schema.New(
+		schema.Column{Name: "a", ByteSize: 4},
+		schema.Column{Name: "b", ByteSize: 4},
+		schema.Column{Name: "c", ByteSize: 4},
+		schema.Column{Name: "d", ByteSize: 8},
+		schema.Column{Name: "pk", ByteSize: 4},
+	)
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]value.Row, n)
+	for i := range rows {
+		a := value.V(rng.Intn(100))
+		rows[i] = value.Row{a, a / 10, value.V(rng.Intn(60)), value.V(rng.Intn(1000)), value.V(i)}
+	}
+	rel := storage.NewRelation("t", s, s.ColSet("pk"), rows)
+	st := stats.New(rel, 1024, 6)
+	return designer.Common{
+		St:      st,
+		Disk:    storage.DefaultDiskParams(),
+		PKCols:  s.ColSet("pk"),
+		BaseKey: s.ColSet("pk"),
+	}
+}
+
+func eqQ(name, col string, v int) *query.Query {
+	return &query.Query{
+		Name: name, Fact: "t",
+		Predicates: []query.Predicate{query.NewEq(col, value.V(v))},
+		AggCol:     "d",
+	}
+}
+
+func rangeQ(name, col string, lo, hi int) *query.Query {
+	return &query.Query{
+		Name: name, Fact: "t",
+		Predicates: []query.Predicate{query.NewRange(col, value.V(lo), value.V(hi))},
+		AggCol:     "d",
+	}
+}
+
+func twoColQ(name string) *query.Query {
+	return &query.Query{
+		Name: name, Fact: "t",
+		Predicates: []query.Predicate{query.NewEq("a", 5), query.NewRange("c", 0, 19)},
+		AggCol:     "d",
+	}
+}
+
+// buildCoord assembles a 3-tenant coordinator with skewed deterministic
+// streams and returns it. Identical inputs for every call, so two builds
+// are comparable allocation for allocation.
+func buildCoord(tb testing.TB, cfg Config) *Coordinator {
+	tb.Helper()
+	clk := &fakeClock{}
+	co := New(cfg)
+	for i := int64(0); i < 3; i++ {
+		tn, err := co.Add(string(rune('A'+i)), testCommon(tb, 5+i, 4000), workload.Config{}, clk.now)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		// Skewed mixes: tenant 0 hammers a, tenant 1 hammers c ranges,
+		// tenant 2 mixes both plus the two-column template.
+		switch i {
+		case 0:
+			for r := 0; r < 8; r++ {
+				tn.Observe(eqQ("a-eq", "a", 5))
+				tn.Observe(rangeQ("a-rng", "a", 10, 30))
+			}
+			tn.Observe(eqQ("c-eq", "c", 7))
+		case 1:
+			for r := 0; r < 6; r++ {
+				tn.Observe(rangeQ("c-rng", "c", 0, 9))
+				tn.Observe(eqQ("c-eq", "c", 30))
+			}
+		case 2:
+			for r := 0; r < 4; r++ {
+				tn.Observe(twoColQ("ac"))
+				tn.Observe(eqQ("b-eq", "b", 3))
+			}
+		}
+	}
+	return co
+}
+
+// contendedBudget probes the pooled candidate mass and returns a budget
+// tight enough that the λ=0 relaxation overshoots it.
+func contendedBudget(tb testing.TB) int64 {
+	tb.Helper()
+	co := buildCoord(tb, Config{Budget: 1 << 40, MonolithicLimit: -1})
+	alloc, err := co.Redesign()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if alloc.TotalSize <= 0 {
+		tb.Fatal("probe redesign chose nothing")
+	}
+	return alloc.TotalSize / 3
+}
+
+// TestRedesignDualBoundsMonolithic is the subsystem property test: the
+// decomposed dual-ascent + repair solve either matches the monolithic
+// exact ILP over the pooled candidates or provably bounds it within the
+// reported duality gap.
+func TestRedesignDualBoundsMonolithic(t *testing.T) {
+	budget := contendedBudget(t)
+	co := buildCoord(t, Config{Budget: budget, MonolithicLimit: -1})
+	alloc, err := co.Redesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Method != "dual" {
+		t.Fatalf("method %q, want dual", alloc.Method)
+	}
+	if !alloc.Proven {
+		t.Fatal("subproblem solves not proven on this small instance")
+	}
+	if alloc.TotalSize > budget {
+		t.Fatalf("allocation overshoots budget: %d > %d", alloc.TotalSize, budget)
+	}
+	if alloc.DualIters < 2 {
+		t.Fatalf("contended budget solved in %d probes; want an actual ascent", alloc.DualIters)
+	}
+
+	var probs []*ilp.Problem
+	for _, p := range alloc.Problems {
+		if p != nil {
+			probs = append(probs, p)
+		}
+	}
+	pooled := ilp.Pool(probs, budget)
+	mono := ilp.Solve(pooled.P, ilp.SolveOptions{})
+	if !mono.Proven {
+		t.Fatal("monolithic reference solve not proven")
+	}
+	if alloc.Objective < mono.Objective-1e-9 {
+		t.Fatalf("dual objective %.6f below monolithic optimum %.6f", alloc.Objective, mono.Objective)
+	}
+	if alloc.LowerBound > mono.Objective+1e-9 {
+		t.Fatalf("dual lower bound %.6f above optimum %.6f", alloc.LowerBound, mono.Objective)
+	}
+	if alloc.Objective-mono.Objective > alloc.Gap+1e-9 {
+		t.Fatalf("optimum outside reported gap: dual %.6f opt %.6f gap %.6f",
+			alloc.Objective, mono.Objective, alloc.Gap)
+	}
+}
+
+// TestRedesignDeterministicAcrossWorkers: identical streams produce
+// bit-identical allocations (and identical mined pools) at any worker
+// count — the decomposition's par.ForEach fan-outs reduce in index order.
+func TestRedesignDeterministicAcrossWorkers(t *testing.T) {
+	budget := contendedBudget(t)
+	run := func(workers int) (*Allocation, [][]string) {
+		co := buildCoord(t, Config{Budget: budget, MonolithicLimit: -1, Workers: workers})
+		alloc, err := co.Redesign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pools := make([][]string, len(co.Tenants()))
+		for i, tn := range co.Tenants() {
+			for _, d := range tn.pool {
+				pools[i] = append(pools[i], d.Key())
+			}
+		}
+		return alloc, pools
+	}
+	refAlloc, refPools := run(1)
+	for _, w := range []int{2, 4, 8} {
+		alloc, pools := run(w)
+		if alloc.Objective != refAlloc.Objective || alloc.Lambda != refAlloc.Lambda ||
+			alloc.DualIters != refAlloc.DualIters || alloc.Nodes != refAlloc.Nodes ||
+			alloc.TotalSize != refAlloc.TotalSize {
+			t.Fatalf("workers=%d diverged: obj %v/%v λ %v/%v iters %d/%d nodes %d/%d size %d/%d",
+				w, alloc.Objective, refAlloc.Objective, alloc.Lambda, refAlloc.Lambda,
+				alloc.DualIters, refAlloc.DualIters, alloc.Nodes, refAlloc.Nodes,
+				alloc.TotalSize, refAlloc.TotalSize)
+		}
+		for i := range refPools {
+			if len(pools[i]) != len(refPools[i]) {
+				t.Fatalf("workers=%d tenant %d pool size %d vs %d", w, i, len(pools[i]), len(refPools[i]))
+			}
+			for j := range refPools[i] {
+				if pools[i][j] != refPools[i][j] {
+					t.Fatalf("workers=%d tenant %d pool entry %d differs", w, i, j)
+				}
+			}
+		}
+		for i := range refAlloc.Tenants {
+			a, b := alloc.Tenants[i], refAlloc.Tenants[i]
+			if a.Size != b.Size || a.Objective != b.Objective || len(a.Design.Chosen) != len(b.Design.Chosen) {
+				t.Fatalf("workers=%d tenant %d result differs", w, i)
+			}
+		}
+	}
+}
+
+// TestPoolReuseAcrossRedesigns closes the PR 5 carry-over with an
+// enforced test: an undrifted tenant skips mining wholesale; a drifted
+// stream re-mines but keeps every previously mined candidate (pools are
+// accumulate-union), so the drifted pool reuses ≥ the undrifted
+// templates' candidates.
+func TestPoolReuseAcrossRedesigns(t *testing.T) {
+	clk := &fakeClock{}
+	co := New(Config{Budget: 1 << 20})
+	tn, err := co.Add("A", testCommon(t, 5, 4000), workload.Config{}, clk.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		tn.Observe(eqQ("a-eq", "a", 5))
+		tn.Observe(twoColQ("ac"))
+	}
+
+	first, err := co.Redesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := first.Tenants[0]
+	if tr.Mined == 0 || tr.PoolReused || tr.ReuseHits != 0 {
+		t.Fatalf("first redesign: mined=%d reused=%v hits=%d; want fresh mining", tr.Mined, tr.PoolReused, tr.ReuseHits)
+	}
+	preDrift := make(map[string]bool)
+	for _, d := range tn.pool {
+		preDrift[d.Key()] = true
+	}
+
+	// No drift: same templates, more observations. Mining is skipped and
+	// the whole pool counts as reused.
+	tn.Observe(eqQ("a-eq", "a", 9))
+	second, err := co.Redesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr = second.Tenants[0]
+	if !tr.PoolReused || tr.Mined != 0 || tr.ReuseHits != tr.PoolSize {
+		t.Fatalf("undrifted redesign: reused=%v mined=%d hits=%d pool=%d; want wholesale reuse",
+			tr.PoolReused, tr.Mined, tr.ReuseHits, tr.PoolSize)
+	}
+
+	// Drift: a new template on a fresh column. Old templates stay hot, so
+	// their sets re-mine as reuse hits, and the pool stays a superset of
+	// the pre-drift pool.
+	for r := 0; r < 6; r++ {
+		tn.Observe(eqQ("d-eq", "d", 100))
+	}
+	third, err := co.Redesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr = third.Tenants[0]
+	if tr.PoolReused {
+		t.Fatal("drifted stream reported wholesale reuse")
+	}
+	if tr.ReuseHits < len(preDrift) {
+		t.Fatalf("drifted re-mine reused %d candidates; want ≥ the %d undrifted ones", tr.ReuseHits, len(preDrift))
+	}
+	now := make(map[string]bool)
+	for _, d := range tn.pool {
+		now[d.Key()] = true
+	}
+	for k := range preDrift {
+		if !now[k] {
+			t.Fatal("drift dropped a previously mined candidate from the pool")
+		}
+	}
+	if tr.PoolSize <= len(preDrift) {
+		t.Fatalf("drift mined nothing new: pool %d, pre-drift %d", tr.PoolSize, len(preDrift))
+	}
+}
+
+// TestRedesignMonolithicFallbackAndIdleTenants: small pooled instances
+// take the exact fallback with a zero gap; tenants with no observations
+// ride along without designs.
+func TestRedesignMonolithicFallbackAndIdleTenants(t *testing.T) {
+	clk := &fakeClock{}
+	co := New(Config{Budget: 1 << 20, MonolithicLimit: 10_000})
+	busy, err := co.Add("busy", testCommon(t, 5, 4000), workload.Config{}, clk.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Add("idle", testCommon(t, 6, 4000), workload.Config{}, clk.now); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		busy.Observe(eqQ("a-eq", "a", 5))
+	}
+	alloc, err := co.Redesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Method != "monolithic" {
+		t.Fatalf("method %q, want monolithic under the fallback limit", alloc.Method)
+	}
+	if alloc.Proven && alloc.Gap != 0 {
+		t.Fatalf("proven monolithic solve reported gap %v", alloc.Gap)
+	}
+	if alloc.Tenants[1].Design != nil || alloc.Tenants[1].Workload != nil {
+		t.Fatal("idle tenant got a design")
+	}
+	if alloc.Tenants[0].Design == nil {
+		t.Fatal("busy tenant got no design")
+	}
+	if alloc.Tenants[0].Design.Routing == nil {
+		t.Fatal("tenant design not routed")
+	}
+}
+
+// TestCoordinatorErrors pins the error contract on bad configuration.
+func TestCoordinatorErrors(t *testing.T) {
+	co := New(Config{Budget: 1 << 20})
+	if _, err := co.Redesign(); err == nil {
+		t.Fatal("Redesign with no tenants did not error")
+	}
+	if _, err := co.Add("x", testCommon(t, 5, 1000), workload.Config{}, nil); err == nil {
+		t.Fatal("nil clock did not error")
+	}
+	clk := &fakeClock{}
+	co2 := New(Config{})
+	if _, err := co2.Add("x", testCommon(t, 5, 1000), workload.Config{}, clk.now); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co2.Redesign(); err == nil {
+		t.Fatal("Redesign with zero budget did not error")
+	}
+}
