@@ -2,7 +2,7 @@
 
 N ?= 1
 
-.PHONY: build test race bench
+.PHONY: build test race bench bench-guard
 
 build:
 	go build ./...
@@ -18,3 +18,8 @@ race:
 # budget with BENCHTIME, e.g. `make bench BENCHTIME=2x` or `=5s`.
 bench:
 	sh scripts/bench.sh $(N)
+
+# bench-guard reruns the fast benchmarks and fails on a >25% ns/op
+# regression against the latest committed BENCH_*.json snapshot.
+bench-guard:
+	sh scripts/bench_guard.sh

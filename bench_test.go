@@ -182,6 +182,15 @@ func BenchmarkAblationServing(b *testing.B) {
 	}
 }
 
+func BenchmarkAblationCalib(b *testing.B) {
+	s := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exp.AdaptCalibration(s, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkAblationTenant(b *testing.B) {
 	s := exp.QuickScale()
 	for i := 0; i < b.N; i++ {

@@ -16,11 +16,18 @@
 //	POST /query    execute a query: a JSON query document, or
 //	               {"name":"Q2.1"} referencing the SSB catalog
 //	GET  /design   the currently serving design (objects by structural key)
-//	GET  /statusz  controller and serving counters, plus the tail of the
-//	               structured event trace (drift checks, solves, builds)
+//	GET  /explain  plan attribution for one catalog template
+//	               (?template=Q2.1): the design object and access path
+//	               serving it, rows scanned vs returned, and the cost
+//	               model's estimate against the measured seconds
+//	GET  /statusz  controller and serving counters, the tail of the
+//	               structured event trace (drift checks, solves, builds),
+//	               the top objects by measured benefit and the worst-
+//	               calibrated templates
 //	GET  /metrics  Prometheus text exposition: per-route request-latency
 //	               histograms, shed/timeout/panic counters, controller and
-//	               solver telemetry, ObjectCache stats
+//	               solver telemetry (including per-object serve counters
+//	               and the solve-gap gauge), ObjectCache stats
 //	GET  /healthz  liveness (the process is up)
 //	GET  /readyz   readiness (503 while starting, resuming or draining)
 //	GET  /debug/pprof/  net/http/pprof, only with -pprof

@@ -8,11 +8,15 @@
 //
 // where id selects one experiment: table1, fig5, fig6, fig7, fig9, fig10,
 // fig11, fig13, fig14, a3, relax, merge, cidx, deploy, adapt, chaos,
-// serving, tenant, all (default all).
+// serving, tenant, calib, all (default all).
 //
 // Flags:
 //
 //	-full     the larger paper-like scale (slower)
+//	-solveprof  with the calib experiment: dump every selection and
+//	          scheduling solve's search-progress profile (incumbent
+//	          trajectory and bound gap, sampled at deterministic node
+//	          ordinals — see ilp.SolveProfile) after the table
 //	-chrono   chronologically loaded SSB for every SSB experiment
 //	          (orderdate nearly monotone in the orderkey clustering — the
 //	          load-order correlation scenario the cidx ablation
@@ -63,15 +67,17 @@ import (
 	"time"
 
 	"coradd/internal/exp"
+	"coradd/internal/ilp"
 )
 
 func main() {
 	full := flag.Bool("full", false, "use the larger paper-like scale (slower)")
 	chrono := flag.Bool("chrono", false, "chronologically loaded SSB (load-order correlation scenario)")
-	run := flag.String("run", "all", "experiment id: table1,fig5,fig6,fig7,fig9,fig10,fig11,fig13,fig14,a3,relax,merge,cidx,deploy,adapt,chaos,serving,tenant,all")
+	run := flag.String("run", "all", "experiment id: table1,fig5,fig6,fig7,fig9,fig10,fig11,fig13,fig14,a3,relax,merge,cidx,deploy,adapt,chaos,serving,tenant,calib,all")
 	ssbRows := flag.Int("ssbrows", 0, "override SSB fact rows")
 	apbRows := flag.Int("apbrows", 0, "override APB fact rows")
 	optQueries := flag.Int("optqueries", 8, "workload size for the Figure 7 OPT brute force")
+	solveProf := flag.Bool("solveprof", false, "dump the solver search profile after the calib experiment")
 	flag.Parse()
 
 	scale := exp.QuickScale()
@@ -249,6 +255,21 @@ func main() {
 			return err
 		}
 		t.Print(out)
+		return nil
+	})
+	step("calib", func() error {
+		var prof *ilp.SolveProfile
+		if *solveProf {
+			prof = &ilp.SolveProfile{Label: "calib"}
+		}
+		_, t, err := exp.AdaptCalibration(scale, prof)
+		if err != nil {
+			return err
+		}
+		t.Print(out)
+		if prof != nil {
+			fmt.Fprintln(out, prof.String())
+		}
 		return nil
 	})
 }

@@ -43,6 +43,7 @@ import (
 	"coradd/internal/costmodel"
 	"coradd/internal/deploy"
 	"coradd/internal/designer"
+	"coradd/internal/exec"
 	"coradd/internal/fault"
 	"coradd/internal/feedback"
 	"coradd/internal/obs"
@@ -268,6 +269,15 @@ type Controller struct {
 	rates     map[string]float64 // template key → measured seconds on deployed
 	lbCache   map[string]float64 // template key → lower-bound estimate
 
+	// attr holds the current deployment's per-template attribution traces,
+	// written by priceTemplate alongside rates (a rates hit implies the
+	// attr entry was written for the same deployment, so attr needs no
+	// reset: every post-reset hit is preceded by a miss that overwrote it).
+	// calib accumulates the per-(template, object) serve record across the
+	// whole stream — Calibration's input, never reset.
+	attr  map[string]exec.PlanTrace
+	calib map[string]*designer.TemplateCalibration
+
 	sinceCheck   int
 	lastRedesign float64
 	report       Report
@@ -299,6 +309,8 @@ func New(common designer.Common, initial *designer.Design, cfg Config) (*Control
 		deployed:  initial,
 		rates:     make(map[string]float64),
 		lbCache:   make(map[string]float64),
+		attr:      make(map[string]exec.PlanTrace),
+		calib:     make(map[string]*designer.TemplateCalibration),
 		obs:       newCtlObs(cfg.Metrics),
 		tr:        cfg.Trace,
 	}
@@ -389,10 +401,11 @@ func (c *Controller) Process(q *query.Query) (sec float64, err error) {
 		}
 	}()
 	c.Mon.Observe(q)
-	sec, err = c.rateFor(q)
+	sec, key, err := c.priceTemplate(q)
 	if err != nil {
 		return 0, err
 	}
+	c.recordServe(key, sec)
 	c.clock += sec
 	c.report.Cum += sec
 	c.report.Observed++
@@ -426,18 +439,11 @@ func (c *Controller) Run(stream []*query.Query) (Report, error) {
 }
 
 // rateFor returns the measured seconds of q's template on the deployed
-// state, measuring lazily on first sight per (state, template).
+// state, measuring lazily on first sight per (state, template). Pricing
+// only — serve attribution is Process's recordServe.
 func (c *Controller) rateFor(q *query.Query) (float64, error) {
-	key := c.Mon.KeyOf(q)
-	if sec, ok := c.rates[key]; ok {
-		return sec, nil
-	}
-	sec, err := MeasureTemplate(c.common.St, c.common.Disk, c.cache, c.model, c.deployed, q)
-	if err != nil {
-		return 0, err
-	}
-	c.rates[key] = sec
-	return sec, nil
+	sec, _, err := c.priceTemplate(q)
+	return sec, err
 }
 
 // measuredRate sums weight·measured-seconds over the snapshot, measuring
@@ -685,7 +691,11 @@ func (c *Controller) replan(w query.Workload, now float64) error {
 		prob.Objects = append(prob.Objects, o)
 	}
 
-	sched, err := deploy.Solve(prob, c.cfg.Deploy)
+	dep := c.cfg.Deploy
+	if sink := c.solveSink("replan"); sink != nil {
+		dep.Progress = sink
+	}
+	sched, err := deploy.Solve(prob, dep)
 	if err != nil {
 		return err
 	}
@@ -735,6 +745,9 @@ func (c *Controller) redesign(drift workload.DriftReport) error {
 	if cut := c.cfg.Faults.SolveInterrupt(); cut != nil {
 		fb.Solve.Interrupt = cut
 	}
+	if sink := c.solveSink("redesign"); sink != nil {
+		fb.Solve.Progress = sink
+	}
 	des := designer.NewCORADD(common, c.cfg.Cand, fb)
 	d2, err := des.DesignFrom(c.cfg.Budget, c.incumbent)
 	if err != nil {
@@ -774,8 +787,12 @@ func (c *Controller) redesign(drift workload.DriftReport) error {
 	}
 	info.Changed = true
 
+	dep := c.cfg.Deploy
+	if sink := c.solveSink("schedule"); sink != nil {
+		dep.Progress = sink
+	}
 	plan, err := designer.PlanMigration(c.common.St, c.common.Disk, w, des.Model,
-		c.incumbent, d2, c.cfg.Deploy)
+		c.incumbent, d2, dep)
 	if err != nil {
 		return err
 	}

@@ -39,6 +39,17 @@ type ctlObs struct {
 
 	migInFlight     *obs.Gauge
 	remainingBuilds *obs.Gauge
+
+	// Plan attribution (trace.go in internal/exec): per-object serve
+	// counts and accumulated measured seconds, labeled by design object
+	// name, plus the modeled-vs-measured calibration-error distribution
+	// observed each time a template is (re)priced.
+	objServes  *obs.CounterVec
+	objSeconds *obs.FloatCounterVec
+	calibErr   *obs.Histogram
+	// solveGap tracks the most recent solve's incumbent-vs-root-bound
+	// optimality gap, fed by the progress sink (ilp.ProgressSample).
+	solveGap *obs.FloatGauge
 }
 
 func newCtlObs(r *obs.Registry) ctlObs {
@@ -65,6 +76,11 @@ func newCtlObs(r *obs.Registry) ctlObs {
 
 		migInFlight:     r.Gauge("coradd_adapt_migration_in_flight", "1 while a migration is deploying, else 0."),
 		remainingBuilds: r.Gauge("coradd_adapt_remaining_builds", "Builds left in the in-flight migration."),
+
+		objServes:  r.CounterVec("coradd_object_serves_total", "Queries served, by the design object that served them.", "object"),
+		objSeconds: r.FloatCounterVec("coradd_object_measured_seconds", "Accumulated measured simulated seconds, by serving design object.", "object"),
+		calibErr:   r.Histogram("coradd_adapt_calibration_error", "Absolute relative modeled-vs-measured error per template pricing."),
+		solveGap:   r.FloatGauge("coradd_solve_gap", "Incumbent-vs-root-bound gap of the most recent selection or scheduling solve."),
 	}
 }
 

@@ -3,6 +3,8 @@ package deploy
 import (
 	"math"
 	"sort"
+
+	"coradd/internal/ilp"
 )
 
 // Options tunes Solve.
@@ -15,6 +17,18 @@ type Options struct {
 	// 0 or 1 keeps the sequential depth-first search. For a fixed
 	// problem the schedule is bit-identical at any worker count.
 	Workers int
+	// Progress mirrors ilp.SolveOptions.Progress for the scheduling
+	// search: a "root" sample before the first node (greedy incumbent vs
+	// the root remaining-benefit bound), "search" samples every
+	// ProgressEvery nodes, "incumbent"/"subtree" samples, and a "final"
+	// one. Here Incumbent/Bound are cumulative migration seconds rather
+	// than steady-state workload seconds. Keyed to node ordinals only;
+	// nil is a byte-identical no-op; emitted only from the orchestrating
+	// goroutine.
+	Progress func(ilp.ProgressSample)
+	// ProgressEvery is the "search" cadence; 0 means
+	// ilp.DefaultProgressEvery. Ignored without Progress.
+	ProgressEvery int
 }
 
 // DefaultMaxNodes is the node cap Solve applies when Options.MaxNodes is
@@ -63,11 +77,24 @@ func Solve(p *Problem, opts Options) (*Schedule, error) {
 	s.bestOrder = inc
 
 	times := append([]float64(nil), p.Base...)
+	if opts.Progress != nil {
+		s.progress = opts.Progress
+		s.progressEvery = opts.ProgressEvery
+		if s.progressEvery <= 0 {
+			s.progressEvery = ilp.DefaultProgressEvery
+		}
+		// The root bound is the admissible completion bound at the empty
+		// prefix — read-only apart from the bound's scratch slices, so
+		// computing it here cannot perturb the search.
+		s.rootBound = s.remainingBound(0, times, p.rateOf(times))
+		s.emit("root", -1)
+	}
 	if opts.Workers > 1 {
 		s.solveParallel(opts.Workers, times)
 	} else {
 		s.dfs(0, 0, times, p.rateOf(times), 0)
 	}
+	s.emit("final", -1)
 
 	out, err := Evaluate(p, s.bestOrder)
 	if err != nil {
@@ -114,6 +141,11 @@ type sched struct {
 	bestCum    float64
 	bestOrder  []int
 	proven     bool
+	// progress/progressEvery/rootBound back the optional progress sink
+	// (Options.Progress); subtree tasks never inherit progress.
+	progress      func(ilp.ProgressSample)
+	progressEvery int
+	rootBound     float64
 
 	// frontier/leaves drive the parallel decomposition: when frontier ≥ 0,
 	// dfs snapshots state at that depth instead of descending.
@@ -193,6 +225,9 @@ func (s *sched) dfs(depth int, mask uint64, times []float64, rate, cum float64) 
 		return
 	}
 	s.nodes++
+	if s.progress != nil && s.nodes%s.progressEvery == 0 {
+		s.emit("search", -1)
+	}
 	if s.nodes > s.maxNodes {
 		s.proven = false
 		return
@@ -202,6 +237,7 @@ func (s *sched) dfs(depth int, mask uint64, times []float64, rate, cum float64) 
 			s.bestCum = cum
 			s.bestOrder = append([]int(nil), s.path...)
 			s.incumbents++
+			s.emit("incumbent", -1)
 		}
 		return
 	}
@@ -229,6 +265,22 @@ func (s *sched) dfs(depth int, mask uint64, times []float64, rate, cum float64) 
 		s.dfs(depth+1, mask|bit, child, s.p.rateOf(child), cum+b*rate)
 		s.path = s.path[:len(s.path)-1]
 	}
+}
+
+// emit publishes one progress sample when a sink is attached.
+func (s *sched) emit(phase string, subtree int) {
+	if s.progress == nil {
+		return
+	}
+	s.progress(ilp.ProgressSample{
+		Phase:      phase,
+		Nodes:      s.nodes,
+		Pruned:     s.pruned,
+		Incumbents: s.incumbents,
+		Incumbent:  s.bestCum,
+		Bound:      s.rootBound,
+		Subtree:    subtree,
+	})
 }
 
 // remainingBound computes the admissible lower bound on completing from

@@ -95,6 +95,7 @@ func (s *sched) solveParallel(workers int, times []float64) {
 			s.bestCum = results[i].cum
 			s.bestOrder = results[i].order
 		}
+		s.emit("subtree", i)
 	}
 }
 

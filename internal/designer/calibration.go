@@ -1,0 +1,166 @@
+package designer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// TemplateCalibration is one template's accumulated modeled-vs-measured
+// record on a deployed design: the input row of a CalibrationReport. The
+// adaptive controller produces one per observed template from its
+// exec.PlanTrace attribution (Serves counts stream queries; the *Sum
+// fields accumulate per-serve seconds, so dividing by Serves recovers
+// per-query rates).
+type TemplateCalibration struct {
+	// Query is the template's query name, Object the design object that
+	// served it, Plan the access path that ran.
+	Query  string
+	Object string
+	Plan   string
+	Serves int
+	// ModeledSum / MeasuredSum / BaseSum are Σ over serves of the cost
+	// model's estimate on the serving object, the measured seconds, and
+	// the model's base-design estimate (the benefit baseline).
+	ModeledSum  float64
+	MeasuredSum float64
+	BaseSum     float64
+}
+
+// Error is the signed relative modeled-vs-measured error over the
+// accumulated serves: (modeled − measured) / measured. Positive means
+// the model over-estimated the template's cost (pessimistic), negative
+// under-estimated (optimistic — the dangerous direction for selection).
+func (t TemplateCalibration) Error() float64 {
+	if t.MeasuredSum == 0 {
+		return 0
+	}
+	return (t.ModeledSum - t.MeasuredSum) / t.MeasuredSum
+}
+
+// ObjectCalibration aggregates the templates one deployed object served:
+// the ILP selected the object for its modeled benefit; the measured
+// benefit is what the serves actually saved against the base estimate.
+type ObjectCalibration struct {
+	Object string
+	Serves int
+	// ModeledBenefit = Σ (base − modeled) over serves: the benefit the
+	// selection believed in. MeasuredBenefit = Σ (base − measured): what
+	// the stream observed. MeasuredSeconds = Σ measured.
+	ModeledBenefit  float64
+	MeasuredBenefit float64
+	MeasuredSeconds float64
+	// Flagged marks relative benefit deviation beyond the report's
+	// threshold.
+	Flagged bool
+}
+
+// Deviation is the relative modeled-vs-measured benefit deviation,
+// |modeled − measured| / max(|measured|, |modeled|) — symmetric, in
+// [0, 1] when the signs agree, > 1 only when they disagree.
+func (o ObjectCalibration) Deviation() float64 {
+	denom := math.Max(math.Abs(o.MeasuredBenefit), math.Abs(o.ModeledBenefit))
+	if denom == 0 {
+		return 0
+	}
+	return math.Abs(o.ModeledBenefit-o.MeasuredBenefit) / denom
+}
+
+// CalibrationReport compares the cost model's believed benefits against
+// the measured record, per deployed object and per template. Built by
+// BuildCalibrationReport with fully deterministic ordering, so a seeded
+// stream produces a byte-identical report.
+type CalibrationReport struct {
+	// Threshold is the relative deviation above which an object (and a
+	// template, on |Error|) is flagged miscalibrated.
+	Threshold float64
+	// Objects in measured-benefit order, best first (ties: name).
+	Objects []ObjectCalibration
+	// Templates in |Error| order, worst first (ties: query name). Every
+	// observed template is listed; the flagged prefix is the
+	// miscalibration list.
+	Templates []TemplateCalibration
+}
+
+// Flagged returns the templates whose |Error| exceeds the threshold,
+// worst first (a prefix of Templates).
+func (r *CalibrationReport) Flagged() []TemplateCalibration {
+	var out []TemplateCalibration
+	for _, t := range r.Templates {
+		if math.Abs(t.Error()) > r.Threshold {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// BuildCalibrationReport assembles the report from per-template records.
+// Objects aggregate by serving-object name; ordering is deterministic
+// (benefit descending, ties by name; |error| descending, ties by query
+// name — sort.SliceStable over name-sorted input).
+func BuildCalibrationReport(threshold float64, templates []TemplateCalibration) *CalibrationReport {
+	r := &CalibrationReport{Threshold: threshold}
+	byObj := make(map[string]*ObjectCalibration)
+	for _, t := range templates {
+		o := byObj[t.Object]
+		if o == nil {
+			o = &ObjectCalibration{Object: t.Object}
+			byObj[t.Object] = o
+		}
+		o.Serves += t.Serves
+		o.ModeledBenefit += t.BaseSum - t.ModeledSum
+		o.MeasuredBenefit += t.BaseSum - t.MeasuredSum
+		o.MeasuredSeconds += t.MeasuredSum
+	}
+	for _, o := range byObj {
+		o.Flagged = o.Deviation() > threshold
+		r.Objects = append(r.Objects, *o)
+	}
+	sort.Slice(r.Objects, func(i, j int) bool {
+		a, b := r.Objects[i], r.Objects[j]
+		if a.MeasuredBenefit != b.MeasuredBenefit {
+			return a.MeasuredBenefit > b.MeasuredBenefit
+		}
+		return a.Object < b.Object
+	})
+	r.Templates = append([]TemplateCalibration(nil), templates...)
+	sort.Slice(r.Templates, func(i, j int) bool {
+		a, b := r.Templates[i], r.Templates[j]
+		ea, eb := math.Abs(a.Error()), math.Abs(b.Error())
+		if ea != eb {
+			return ea > eb
+		}
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		return a.Object < b.Object
+	})
+	return r
+}
+
+// String renders the report as an aligned text table (the cmd/experiments
+// calib surface).
+func (r *CalibrationReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "calibration report (flag threshold %.0f%%)\n", r.Threshold*100)
+	fmt.Fprintf(&b, "  %-28s %8s %14s %14s %8s %s\n", "object", "serves", "modeled-ben", "measured-ben", "dev", "flag")
+	for _, o := range r.Objects {
+		flag := ""
+		if o.Flagged {
+			flag = "MISCALIBRATED"
+		}
+		fmt.Fprintf(&b, "  %-28s %8d %14.4f %14.4f %7.1f%% %s\n",
+			o.Object, o.Serves, o.ModeledBenefit, o.MeasuredBenefit, o.Deviation()*100, flag)
+	}
+	fmt.Fprintf(&b, "  %-28s %8s %14s %14s %8s %s\n", "template (worst first)", "serves", "modeled-sec", "measured-sec", "err", "flag")
+	for _, t := range r.Templates {
+		flag := ""
+		if math.Abs(t.Error()) > r.Threshold {
+			flag = "MISCALIBRATED"
+		}
+		fmt.Fprintf(&b, "  %-28s %8d %14.6f %14.6f %+7.1f%% %s\n",
+			t.Query+" via "+t.Object, t.Serves, t.ModeledSum, t.MeasuredSum, t.Error()*100, flag)
+	}
+	return b.String()
+}

@@ -2,7 +2,6 @@ package designer
 
 import (
 	"container/list"
-	"fmt"
 	"os"
 	"strconv"
 	"strings"
@@ -11,6 +10,7 @@ import (
 	"coradd/internal/btree"
 	"coradd/internal/cm"
 	"coradd/internal/corridx"
+	"coradd/internal/envknob"
 	"coradd/internal/exec"
 	"coradd/internal/storage"
 )
@@ -89,10 +89,10 @@ type cacheEntry struct {
 func ParseCacheBytes(v string) (int64, error) {
 	n, err := strconv.ParseInt(v, 10, 64)
 	if err != nil {
-		return 0, fmt.Errorf("%s=%q: not a base-10 integer byte count: %v", cacheBytesEnv, v, err)
+		return 0, envknob.Reject(cacheBytesEnv, v, "not a base-10 integer byte count: %v", err)
 	}
 	if n < 0 {
-		return 0, fmt.Errorf("%s=%q: capacity must be non-negative (0 = unlimited)", cacheBytesEnv, v)
+		return 0, envknob.Reject(cacheBytesEnv, v, "capacity must be non-negative (0 = unlimited)")
 	}
 	return n, nil
 }

@@ -1,0 +1,18 @@
+// Package envknob is the shared loud-rejection vocabulary for
+// environment-variable knobs (CORADD_SOLVER_WORKERS, CORADD_CACHE_BYTES,
+// …). Every knob parser follows one contract: garbage and out-of-range
+// values are errors that name the variable and the offending value — an
+// operator typo must fail loudly, never silently fall back to a default
+// that masks the intent. Reject builds those errors in one shape so the
+// per-knob parsers cannot drift apart.
+package envknob
+
+import "fmt"
+
+// Reject builds a knob-rejection error: "ENV=\"value\": <reason>", with
+// the reason formatted from format/args. Each parser keeps its own
+// strconv/ParseDuration call — the reasons legitimately differ per value
+// type — and routes the result through here for the uniform prefix.
+func Reject(env, val, format string, args ...any) error {
+	return fmt.Errorf("%s=%q: "+format, append([]any{env, val}, args...)...)
+}

@@ -1,0 +1,90 @@
+package envknob_test
+
+import (
+	"testing"
+
+	"coradd/internal/designer"
+	"coradd/internal/envknob"
+	"coradd/internal/exp"
+)
+
+func TestRejectShape(t *testing.T) {
+	err := envknob.Reject("SOME_KNOB", "bogus", "must be %s", "better")
+	want := `SOME_KNOB="bogus": must be better`
+	if err.Error() != want {
+		t.Fatalf("Reject = %q, want %q", err.Error(), want)
+	}
+}
+
+// TestKnobRejectionMessages pins every knob parser's rejection text: the
+// loud-failure contract says an operator typo names the variable and the
+// offending value, and these exact strings are part of the operational
+// surface (runbooks grep for them).
+func TestKnobRejectionMessages(t *testing.T) {
+	cases := []struct {
+		name  string
+		parse func(string) error
+		val   string
+		want  string
+	}{
+		{
+			name:  "solver workers garbage",
+			parse: func(v string) error { _, err := exp.ParseSolverWorkers(v); return err },
+			val:   "three",
+			want:  `CORADD_SOLVER_WORKERS="three": not a base-10 worker count: strconv.Atoi: parsing "three": invalid syntax`,
+		},
+		{
+			name:  "solver workers negative",
+			parse: func(v string) error { _, err := exp.ParseSolverWorkers(v); return err },
+			val:   "-2",
+			want:  `CORADD_SOLVER_WORKERS="-2": worker count cannot be negative (unset it or use 0 for sequential)`,
+		},
+		{
+			name:  "tenant workers garbage",
+			parse: func(v string) error { _, err := exp.ParseTenantWorkers(v); return err },
+			val:   "0x4",
+			want:  `CORADD_TENANT_WORKERS="0x4": not a base-10 worker count: strconv.Atoi: parsing "0x4": invalid syntax`,
+		},
+		{
+			name:  "tenant workers negative",
+			parse: func(v string) error { _, err := exp.ParseTenantWorkers(v); return err },
+			val:   "-1",
+			want:  `CORADD_TENANT_WORKERS="-1": worker count cannot be negative (unset it or use 0 for one per CPU)`,
+		},
+		{
+			name:  "time limit garbage",
+			parse: func(v string) error { _, err := exp.ParseSolverTimeLimit(v); return err },
+			val:   "30",
+			want:  `CORADD_SOLVER_TIMELIMIT="30": not a duration (want e.g. "30s", "2m"): time: missing unit in duration "30"`,
+		},
+		{
+			name:  "time limit non-positive",
+			parse: func(v string) error { _, err := exp.ParseSolverTimeLimit(v); return err },
+			val:   "-5s",
+			want:  `CORADD_SOLVER_TIMELIMIT="-5s": deadline must be positive (unset it for unlimited)`,
+		},
+		{
+			name:  "cache bytes garbage",
+			parse: func(v string) error { _, err := designer.ParseCacheBytes(v); return err },
+			val:   "1GB",
+			want:  `CORADD_CACHE_BYTES="1GB": not a base-10 integer byte count: strconv.ParseInt: parsing "1GB": invalid syntax`,
+		},
+		{
+			name:  "cache bytes negative",
+			parse: func(v string) error { _, err := designer.ParseCacheBytes(v); return err },
+			val:   "-1",
+			want:  `CORADD_CACHE_BYTES="-1": capacity must be non-negative (0 = unlimited)`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.parse(tc.val)
+			if err == nil {
+				t.Fatalf("%s accepted %q", tc.name, tc.val)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("message drifted:\n got %q\nwant %q", err.Error(), tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package exec
+
+import "fmt"
+
+// PlanTrace is the compact attribution record of one executed query: the
+// design object and access path that served it, how much heap it touched
+// versus how much it returned, and the cost model's prediction next to
+// the measured outcome. adapt's template measurement produces one per
+// (template, deployment) and the controller aggregates them into the
+// coradd_object_* metrics and the designer.CalibrationReport.
+type PlanTrace struct {
+	// Query is the query name ("Q2.1"); Object is the name of the design
+	// object that served it ("base", an MV name, …).
+	Object string
+	Query  string
+	// Plan is the access path that ran on the object ("seqscan",
+	// "clustered", "cm", "corridx", "secondary" — PlanKind.String).
+	Plan string
+	// RowsScanned estimates the heap tuples the plan touched (derived
+	// from heap pages read, see ScannedRows); RowsReturned is the exact
+	// matching-tuple count.
+	RowsScanned  int
+	RowsReturned int
+	// ModeledSec is the cost model's estimate for the query on the
+	// serving object; BaseSec its estimate on the base design (the
+	// benefit baseline); MeasuredSec the simulated-execution measurement.
+	ModeledSec  float64
+	BaseSec     float64
+	MeasuredSec float64
+}
+
+// CalibrationError is the signed relative modeled-vs-measured error,
+// (modeled − measured) / measured: positive when the model is
+// pessimistic, negative when optimistic, 0 when the measurement is 0.
+func (t PlanTrace) CalibrationError() float64 {
+	if t.MeasuredSec == 0 {
+		return 0
+	}
+	return (t.ModeledSec - t.MeasuredSec) / t.MeasuredSec
+}
+
+// String renders the trace as one compact diagnostic line.
+func (t PlanTrace) String() string {
+	return fmt.Sprintf("%s via %s/%s scanned=%d returned=%d modeled=%.6fs measured=%.6fs",
+		t.Query, t.Object, t.Plan, t.RowsScanned, t.RowsReturned, t.ModeledSec, t.MeasuredSec)
+}
+
+// ScannedRows estimates the heap tuples r's plan touched on o: heap
+// pages read (total pages minus index pages) times the relation's
+// tuples-per-page, capped at the relation's row count. Derived from the
+// I/O accounting the executors already keep, so attribution costs the
+// hot scan loops nothing.
+func ScannedRows(o *Object, r Result) int {
+	heapPages := r.IO.PagesRead - r.IO.IndexPagesRead
+	if heapPages < 0 {
+		heapPages = 0
+	}
+	n := heapPages * o.Rel.TuplesPerPage()
+	if rows := o.Rel.NumRows(); n > rows {
+		n = rows
+	}
+	return n
+}

@@ -16,6 +16,7 @@ import (
 
 	"coradd/internal/candgen"
 	"coradd/internal/designer"
+	"coradd/internal/envknob"
 	"coradd/internal/feedback"
 	"coradd/internal/ilp"
 	"coradd/internal/query"
@@ -154,10 +155,10 @@ const solverWorkersEnv = "CORADD_SOLVER_WORKERS"
 func ParseSolverWorkers(v string) (int, error) {
 	n, err := strconv.Atoi(v)
 	if err != nil {
-		return 0, fmt.Errorf("%s=%q: not a base-10 worker count: %v", solverWorkersEnv, v, err)
+		return 0, envknob.Reject(solverWorkersEnv, v, "not a base-10 worker count: %v", err)
 	}
 	if n < 0 {
-		return 0, fmt.Errorf("%s=%q: worker count cannot be negative (unset it or use 0 for sequential)", solverWorkersEnv, v)
+		return 0, envknob.Reject(solverWorkersEnv, v, "worker count cannot be negative (unset it or use 0 for sequential)")
 	}
 	return n, nil
 }
@@ -192,10 +193,10 @@ const tenantWorkersEnv = "CORADD_TENANT_WORKERS"
 func ParseTenantWorkers(v string) (int, error) {
 	n, err := strconv.Atoi(v)
 	if err != nil {
-		return 0, fmt.Errorf("%s=%q: not a base-10 worker count: %v", tenantWorkersEnv, v, err)
+		return 0, envknob.Reject(tenantWorkersEnv, v, "not a base-10 worker count: %v", err)
 	}
 	if n < 0 {
-		return 0, fmt.Errorf("%s=%q: worker count cannot be negative (unset it or use 0 for one per CPU)", tenantWorkersEnv, v)
+		return 0, envknob.Reject(tenantWorkersEnv, v, "worker count cannot be negative (unset it or use 0 for one per CPU)")
 	}
 	return n, nil
 }
@@ -245,10 +246,10 @@ const solverTimeLimitEnv = "CORADD_SOLVER_TIMELIMIT"
 func ParseSolverTimeLimit(v string) (time.Duration, error) {
 	d, err := time.ParseDuration(v)
 	if err != nil {
-		return 0, fmt.Errorf("%s=%q: not a duration (want e.g. \"30s\", \"2m\"): %v", solverTimeLimitEnv, v, err)
+		return 0, envknob.Reject(solverTimeLimitEnv, v, "not a duration (want e.g. \"30s\", \"2m\"): %v", err)
 	}
 	if d <= 0 {
-		return 0, fmt.Errorf("%s=%q: deadline must be positive (unset it for unlimited)", solverTimeLimitEnv, v)
+		return 0, envknob.Reject(solverTimeLimitEnv, v, "deadline must be positive (unset it for unlimited)")
 	}
 	return d, nil
 }

@@ -72,6 +72,18 @@ type SolveOptions struct {
 	NoLagrangian bool
 	// NoPolish disables the local-search polish of the greedy incumbent.
 	NoPolish bool
+	// Progress, when non-nil, receives deterministic search snapshots:
+	// one "root" sample before the first node, a "search" sample every
+	// ProgressEvery nodes, one per incumbent improvement and per merged
+	// parallel subtree, and a "final" sample. Emission is keyed to node
+	// ordinals only, so the sequence is bit-identical run to run at a
+	// fixed Workers setting, and a nil sink changes nothing about the
+	// search (see ProgressSample). Samples arrive on the calling
+	// goroutine — worker tasks never emit.
+	Progress func(ProgressSample)
+	// ProgressEvery is the "search"-sample node cadence; 0 means
+	// DefaultProgressEvery. Ignored without Progress.
+	ProgressEvery int
 }
 
 // IsZero reports whether every option is at its default (the pre-warm-
@@ -79,7 +91,8 @@ type SolveOptions struct {
 // no longer permits).
 func (o *SolveOptions) IsZero() bool {
 	return o.MaxNodes == 0 && o.TimeLimit == 0 && o.Workers == 0 && o.Interrupt == nil &&
-		len(o.WarmStart) == 0 && !o.NoPreprocess && !o.NoLagrangian && !o.NoPolish
+		len(o.WarmStart) == 0 && !o.NoPreprocess && !o.NoLagrangian && !o.NoPolish &&
+		o.Progress == nil && o.ProgressEvery == 0
 }
 
 // Solve finds the optimal candidate subset by depth-first branch-and-bound.
@@ -144,6 +157,23 @@ func Solve(p *Problem, opts SolveOptions) *Solution {
 	if !opts.NoLagrangian {
 		s.lag = newLagrangian(rp, s, incObj)
 	}
+	if opts.Progress != nil {
+		// Arm the sink. The root bound is the greedy relaxation at the
+		// empty prefix — computed once (constant across the solve's
+		// samples) via boundFull, never through bound(), whose lagWins
+		// accounting would perturb the deterministic Lagrangian-disarm
+		// decision and break byte-identity with an unobserved solve.
+		s.progress = opts.Progress
+		s.progressEvery = opts.ProgressEvery
+		if s.progressEvery <= 0 {
+			s.progressEvery = DefaultProgressEvery
+		}
+		rootTimes := make([]float64, s.nQ)
+		copy(rootTimes, rp.Base)
+		s.row(0)
+		s.rootBound = s.boundFull(rootTimes, 0, 0)
+		s.emit("root", -1)
+	}
 
 	if opts.Workers > 1 {
 		s.solveParallel(opts.Workers)
@@ -152,6 +182,7 @@ func Solve(p *Problem, opts SolveOptions) *Solution {
 		copy(bestTimes, rp.Base)
 		s.dfs(0, 0, bestTimes, s.objectiveOf(bestTimes), -1, nil, map[int]bool{})
 	}
+	s.emit("final", -1)
 
 	return red.lift(p, s)
 }
@@ -199,6 +230,13 @@ type solver struct {
 	bestObj    float64
 	bestChosen []int
 	proven     bool
+	// progress/progressEvery/rootBound back the optional progress sink
+	// (progress.go). Tasks never inherit progress: only the
+	// orchestrating goroutine emits, keeping samples ordered and the
+	// sink free of synchronization requirements.
+	progress      func(ProgressSample)
+	progressEvery int
+	rootBound     float64
 	// lagWins counts nodes the Lagrangian bound pruned that the greedy
 	// bound alone would not have; at the lagProbeNodes checkpoint a
 	// solver that saw too few wins disarms the Lagrangian for the rest of
@@ -304,6 +342,9 @@ func (s *solver) dfs(pos int, usedSize int64, bestTimes []float64, cur float64, 
 		return
 	}
 	s.nodes++
+	if s.progress != nil && s.nodes%s.progressEvery == 0 {
+		s.emit("search", -1)
+	}
 	if s.nodes > s.maxNodes || (!s.deadline.IsZero() && s.nodes%1024 == 0 && time.Now().After(s.deadline)) ||
 		(s.interrupt != nil && s.interrupt(s.nodes)) {
 		s.proven = false
@@ -316,6 +357,7 @@ func (s *solver) dfs(pos int, usedSize int64, bestTimes []float64, cur float64, 
 		s.bestObj = cur
 		s.bestChosen = append([]int(nil), chosen...)
 		s.incumbents++
+		s.emit("incumbent", -1)
 	}
 	if pos >= len(s.order) {
 		return

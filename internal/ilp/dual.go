@@ -39,6 +39,16 @@ type DualOptions struct {
 	// problems[i].Cands); later probes warm-chain from the previous
 	// probe's chosen set automatically.
 	WarmStarts [][]int
+	// Progress, when non-nil, receives one "dual" ProgressSample per
+	// completed λ probe (Subtree = probe ordinal, Bound = the probe's
+	// dual value, Nodes/Incumbents = running totals) and one "final"
+	// sample. Samples are emitted from the deterministic index-order
+	// reduction after each probe's fan-out — never from subproblem
+	// workers — so the sequence is bit-identical run to run at any
+	// Workers count, and a nil sink changes nothing. Solve.Progress is
+	// ignored here (per-tenant solves run concurrently; a shared
+	// node-level sink would race).
+	Progress func(ProgressSample)
 }
 
 // DualSolution is the outcome of DualDecompose.
@@ -111,6 +121,7 @@ func DualDecompose(problems []*Problem, budget int64, opts DualOptions) *DualSol
 		par.ForEach(n, opts.Workers, func(i int) {
 			so := opts.Solve
 			so.WarmStart = warm[i]
+			so.Progress = nil // node-level sinks would race across tenants
 			pr.sols[i] = SolvePenalized(problems[i], lambda, so)
 		})
 		// Reductions and warm-chain updates in index order: deterministic
@@ -130,6 +141,15 @@ func DualDecompose(problems []*Problem, budget int64, opts DualOptions) *DualSol
 			}
 		} else {
 			ds.Proven = false
+		}
+		if opts.Progress != nil {
+			bound := ds.LowerBound
+			if math.IsInf(bound, -1) {
+				bound = 0
+			}
+			opts.Progress(ProgressSample{
+				Phase: "dual", Nodes: ds.Nodes, Subtree: ds.Iters - 1, Bound: bound,
+			})
 		}
 		return pr
 	}
@@ -249,6 +269,16 @@ func DualDecompose(problems []*Problem, budget int64, opts DualOptions) *DualSol
 	}
 	if ds.Gap = ds.Objective - ds.LowerBound; ds.Gap < 0 || math.IsInf(ds.LowerBound, -1) {
 		ds.Gap = 0
+	}
+	if opts.Progress != nil {
+		bound := ds.LowerBound
+		if math.IsInf(bound, -1) {
+			bound = 0
+		}
+		opts.Progress(ProgressSample{
+			Phase: "final", Nodes: ds.Nodes, Subtree: -1,
+			Incumbent: ds.Objective, Bound: bound,
+		})
 	}
 	return ds
 }

@@ -101,6 +101,9 @@ func (s *solver) solveParallel(workers int) {
 	})
 
 	// Merge in fixed subtree order with the sequential improvement rule.
+	// Progress samples come from here, not the workers: the merge runs on
+	// the orchestrating goroutine in subtree order, so the emitted
+	// sequence is deterministic for a fixed Workers setting.
 	for i := range results {
 		s.nodes += results[i].nodes
 		s.pruned += results[i].pruned
@@ -112,6 +115,7 @@ func (s *solver) solveParallel(workers int) {
 			s.bestObj = results[i].obj
 			s.bestChosen = results[i].chosen
 		}
+		s.emit("subtree", i)
 	}
 }
 

@@ -47,8 +47,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			switch m := child.(type) {
 			case *Counter:
 				writeSample(bw, f.name, "", f.labels, values, "", "", formatUint(m.Value()))
+			case *FloatCounter:
+				writeSample(bw, f.name, "", f.labels, values, "", "", formatValue(m.Value()))
 			case *Gauge:
 				writeSample(bw, f.name, "", f.labels, values, "", "", strconv.FormatInt(m.Value(), 10))
+			case *FloatGauge:
+				writeSample(bw, f.name, "", f.labels, values, "", "", formatValue(m.Value()))
 			case *Histogram:
 				counts, _ := m.snapshot()
 				cum := uint64(0)

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// FloatCounter is a monotonically increasing float64 — for accumulated
+// quantities measured in seconds (or bytes-seconds) where the integer
+// Counter would truncate. Same contract as Counter: atomic, and every
+// method is a no-op on a nil receiver.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add adds v (negative or NaN v is ignored: counters only go up).
+func (c *FloatCounter) Add(v float64) {
+	if c == nil || !(v > 0) {
+		return
+	}
+	atomicAddFloat(&c.bits, v)
+}
+
+// Value returns the current total (0 on nil).
+func (c *FloatCounter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// FloatGauge is a float64 gauge (optimality gaps, ratios). Atomic,
+// nil-safe like Gauge.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 on nil).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// FloatCounterVec is a labeled float-counter family; With resolves one
+// child.
+type FloatCounterVec struct{ f *family }
+
+// With returns the float counter for the label values. Nil vec → nil
+// handle.
+func (v *FloatCounterVec) With(values ...string) *FloatCounter {
+	if v == nil {
+		return nil
+	}
+	return v.f.floatCounter(values)
+}
+
+// FloatCounterVec returns the labeled float-counter family named name —
+// exposed as a counter (the text format does not distinguish value
+// width). A name must not also be used as an integer CounterVec.
+func (r *Registry) FloatCounterVec(name, help string, labels ...string) *FloatCounterVec {
+	if r == nil {
+		return nil
+	}
+	return &FloatCounterVec{f: r.getFamily(name, help, typeCounter, labels)}
+}
+
+// FloatGauge returns the unlabeled float gauge named name.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, typeGauge, nil)
+	return f.floatGauge(nil)
+}
+
+func (f *family) floatCounter(values []string) *FloatCounter {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := labelKey(values)
+	if c, ok := f.children[k]; ok {
+		return c.(*FloatCounter)
+	}
+	c := &FloatCounter{}
+	f.children[k] = c
+	return c
+}
+
+func (f *family) floatGauge(values []string) *FloatGauge {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := labelKey(values)
+	if g, ok := f.children[k]; ok {
+		return g.(*FloatGauge)
+	}
+	g := &FloatGauge{}
+	f.children[k] = g
+	return g
+}

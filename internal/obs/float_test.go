@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFloatCounterNilAndMonotonic(t *testing.T) {
+	var nilC *FloatCounter
+	nilC.Add(1) // must not panic
+	if nilC.Value() != 0 {
+		t.Fatal("nil FloatCounter has a value")
+	}
+	var c FloatCounter
+	c.Add(0.25)
+	c.Add(0.5)
+	c.Add(-3) // ignored: counters only go up
+	c.Add(0)  // ignored
+	if got := c.Value(); got != 0.75 {
+		t.Fatalf("FloatCounter = %v, want 0.75", got)
+	}
+
+	var nilG *FloatGauge
+	nilG.Set(2)
+	if nilG.Value() != 0 {
+		t.Fatal("nil FloatGauge has a value")
+	}
+	var g FloatGauge
+	g.Set(1.5)
+	g.Set(-0.25)
+	if got := g.Value(); got != -0.25 {
+		t.Fatalf("FloatGauge = %v, want -0.25", got)
+	}
+
+	var nilV *FloatCounterVec
+	if nilV.With("x") != nil {
+		t.Fatal("nil FloatCounterVec.With is not nil")
+	}
+	var nilR *Registry
+	if nilR.FloatCounterVec("a", "b", "c") != nil || nilR.FloatGauge("a", "b") != nil {
+		t.Fatal("nil registry returned live float handles")
+	}
+}
+
+// TestPrometheusObjectFamiliesGolden pins the exposition of the plan-
+// attribution and solver-introspection families byte for byte: the
+// labeled float counter (coradd_object_measured_seconds), its integer
+// sibling (coradd_object_serves_total) and the float gauge
+// (coradd_solve_gap) render with shortest-round-trip float formatting in
+// sorted family and child order.
+func TestPrometheusObjectFamiliesGolden(t *testing.T) {
+	r := NewRegistry()
+	serves := r.CounterVec("coradd_object_serves_total", "Queries served, by design object.", "object")
+	serves.With("base").Add(3)
+	serves.With("mv5").Add(7)
+	secs := r.FloatCounterVec("coradd_object_measured_seconds", "Measured seconds by design object.", "object")
+	secs.With("base").Add(0.5)
+	secs.With("base").Add(0.125)
+	secs.With("mv5").Add(1.75)
+	gap := r.FloatGauge("coradd_solve_gap", "Most recent solve's optimality gap.")
+	gap.Set(0.597102)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP coradd_object_measured_seconds Measured seconds by design object.
+# TYPE coradd_object_measured_seconds counter
+coradd_object_measured_seconds{object="base"} 0.625
+coradd_object_measured_seconds{object="mv5"} 1.75
+# HELP coradd_object_serves_total Queries served, by design object.
+# TYPE coradd_object_serves_total counter
+coradd_object_serves_total{object="base"} 3
+coradd_object_serves_total{object="mv5"} 7
+# HELP coradd_solve_gap Most recent solve's optimality gap.
+# TYPE coradd_solve_gap gauge
+coradd_solve_gap 0.597102
+`
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}

@@ -1,0 +1,44 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"coradd/internal/obs"
+)
+
+// assertEscaped fails if body carries the script tag un-HTML-escaped.
+// The JSON encoder escapes <,>,& to \u00XX on its own, so "no raw
+// <script>" alone would pass even without html.EscapeString — the real
+// check is that the HTML-escaped form (lt;script) made it through and
+// neither the raw form nor its merely-JSON-escaped spelling did.
+func assertEscaped(t *testing.T, surface, body string) {
+	t.Helper()
+	if strings.Contains(body, "<script") || strings.Contains(body, "\\u003cscript") {
+		t.Fatalf("%s leaked raw markup:\n%s", surface, body)
+	}
+	if !strings.Contains(body, "lt;script") {
+		t.Fatalf("%s lost the escaped script tag:\n%s", surface, body)
+	}
+}
+
+// TestStatuszTraceEscapesHTML: trace event details can embed
+// client-supplied query names, so the /statusz trace tail must never
+// carry live markup. A detail with a script tag renders escaped.
+func TestStatuszTraceEscapesHTML(t *testing.T) {
+	tr := obs.NewTracer(obs.DefaultTraceEvents)
+	s := bare(Config{Trace: tr})
+	tr.Event(1.0, "redesign",
+		obs.F("detail", `drift via <script>alert(1)</script> & "friends"`))
+
+	rr := get(s.Handler(), "/statusz")
+	assertEscaped(t, "/statusz", rr.Body.String())
+}
+
+// TestExplainEscapesTemplateName: the template name is client input and
+// is echoed in the not-found error; it must come back HTML-escaped.
+func TestExplainEscapesTemplateName(t *testing.T) {
+	s := bare(Config{})
+	rr := get(s.Handler(), "/explain?template=%3Cscript%3Ealert(1)%3C%2Fscript%3E")
+	assertEscaped(t, "/explain", rr.Body.String())
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"html"
 	"io"
 	"net/http"
 	"net/http/pprof"
@@ -36,6 +37,7 @@ func (s *Server) routes() {
 	s.mux.Handle("/readyz", probe(s.handleReadyz))
 	s.mux.Handle("/statusz", probe(s.handleStatusz))
 	s.mux.Handle("/design", probe(s.handleDesign))
+	s.mux.Handle("/explain", probe(s.handleExplain))
 
 	queryChain := []Middleware{s.RequestLog, s.Recover, s.gate, s.Admit}
 	if s.cfg.RequestTimeout > 0 {
@@ -121,6 +123,50 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		"size":    d.Size,
 		"budget":  d.Budget,
 		"objects": objs,
+	})
+}
+
+// handleExplain renders one catalog template's plan attribution on the
+// serving snapshot: which design object and access path serve it, rows
+// scanned versus returned, and the cost model's estimate against the
+// measurement. Pricing goes through the same memoized path as /query, so
+// explaining never perturbs the serve counters or the controller. All
+// client-influenced text is HTML-escaped before it enters the response.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("template")
+	if name == "" {
+		writeJSONError(w, http.StatusBadRequest, "template query parameter required (?template=Q2.1)")
+		return
+	}
+	q, ok := s.catalog[name]
+	if !ok {
+		writeJSONError(w, http.StatusNotFound,
+			fmt.Sprintf("unknown catalog template %q", html.EscapeString(name)))
+		return
+	}
+	sn := s.snap.Load()
+	if sn == nil {
+		writeJSONError(w, http.StatusServiceUnavailable, "no design attached yet")
+		return
+	}
+	rt, cached, err := s.price(sn, q)
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	tr := rt.trace
+	writeJSON(w, http.StatusOK, map[string]any{
+		"template":          html.EscapeString(q.Name),
+		"design":            sn.design.Name,
+		"object":            tr.Object,
+		"plan":              tr.Plan,
+		"rows_scanned":      tr.RowsScanned,
+		"rows_returned":     tr.RowsReturned,
+		"modeled_seconds":   tr.ModeledSec,
+		"base_seconds":      tr.BaseSec,
+		"measured_seconds":  tr.MeasuredSec,
+		"calibration_error": tr.CalibrationError(),
+		"cached":            cached,
 	})
 }
 

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"html"
 	"log"
 	"net/http"
 	"sync"
@@ -32,6 +33,7 @@ import (
 	"coradd/internal/costmodel"
 	"coradd/internal/designer"
 	"coradd/internal/durable"
+	"coradd/internal/exec"
 	"coradd/internal/fault"
 	"coradd/internal/obs"
 	"coradd/internal/query"
@@ -124,8 +126,15 @@ func (c *Config) fill() {
 type snapshot struct {
 	design *designer.Design
 	model  *costmodel.Aware
-	// rates memoizes template fingerprint → measured seconds on design.
+	// rates memoizes template fingerprint → ratedTemplate on design.
 	rates sync.Map
+}
+
+// ratedTemplate is one memoized pricing: the measured seconds the query
+// path charges, plus the attribution trace /explain renders.
+type ratedTemplate struct {
+	sec   float64
+	trace exec.PlanTrace
 }
 
 // Status is the daemon's observable state (/statusz).
@@ -170,8 +179,16 @@ type Status struct {
 	Replans    int      `json:"replans"`
 	Checkpoint string   `json:"checkpoint,omitempty"`
 	// Trace is the tail of the structured event trace (Config.Trace),
-	// one rendered key=value line per event, oldest first.
+	// one rendered key=value line per event, oldest first (HTML-escaped —
+	// event details can embed client-supplied query names).
 	Trace []string `json:"trace,omitempty"`
+	// TopObjects are the deployed objects ranked by accumulated measured
+	// benefit (seconds saved against the base estimate over their serves);
+	// WorstCalibrated the templates ranked by absolute modeled-vs-measured
+	// error. Both are rendered lines, capped at statuszTopK, built from
+	// the controller's calibration report.
+	TopObjects      []string `json:"top_objects,omitempty"`
+	WorstCalibrated []string `json:"worst_calibrated,omitempty"`
 }
 
 // Server is the daemon core: handlers, middleware and the controller
@@ -311,6 +328,8 @@ func (s *Server) Status() Status {
 	if v := s.view.Load(); v != nil {
 		st := *v
 		st.Builds = append([]string(nil), v.Builds...)
+		st.TopObjects = append([]string(nil), v.TopObjects...)
+		st.WorstCalibrated = append([]string(nil), v.WorstCalibrated...)
 		// Counters move between view publications; read them live.
 		st.Served = s.served.Load()
 		st.Observed = s.observed.Load()
@@ -485,6 +504,21 @@ func (s *Server) publishView() {
 		rep := s.ctl.Report()
 		v.Redesigns = rep.Redesigns
 		v.Replans = rep.Replans
+		cal := s.ctl.Calibration(adapt.DefaultCalibrationThreshold)
+		for i, o := range cal.Objects {
+			if i == statuszTopK {
+				break
+			}
+			v.TopObjects = append(v.TopObjects, fmt.Sprintf(
+				"%s serves=%d measured_benefit=%.4fs", o.Object, o.Serves, o.MeasuredBenefit))
+		}
+		for i, t := range cal.Templates {
+			if i == statuszTopK {
+				break
+			}
+			v.WorstCalibrated = append(v.WorstCalibrated, html.EscapeString(fmt.Sprintf(
+				"%s via %s err=%+.1f%% serves=%d", t.Query, t.Object, t.Error()*100, t.Serves)))
+		}
 	}
 	s.view.Store(v)
 }
@@ -504,30 +538,40 @@ func (s *Server) checkpoint() error {
 	return durable.Save(s.cfg.CheckpointPath, cp)
 }
 
-// execute prices q against the current serving snapshot: a cache hit is
-// the template's memoized measured seconds, a miss measures through the
-// shared ObjectCache (adapt.MeasureTemplate, the controller's own
-// measurement procedure). Never blocks on the controller.
+// price resolves q's rated template on snapshot sn: a cache hit is the
+// memoized pricing, a miss measures through the shared ObjectCache
+// (adapt.MeasureTemplateTraced, the controller's own measurement
+// procedure) and memoizes seconds and attribution trace together. Pure
+// pricing — no serve counting, so /explain can use it too.
+func (s *Server) price(sn *snapshot, q *query.Query) (ratedTemplate, bool, error) {
+	key := workload.Fingerprint(q)
+	if v, ok := sn.rates.Load(key); ok {
+		return v.(ratedTemplate), true, nil
+	}
+	sec, tr, err := adapt.MeasureTemplateTraced(s.cfg.Common.St, s.cfg.Common.Disk,
+		s.cfg.Adapt.Cache, sn.model, sn.design, q)
+	if err != nil {
+		return ratedTemplate{}, false, err
+	}
+	rt := ratedTemplate{sec: sec, trace: tr}
+	sn.rates.Store(key, rt)
+	return rt, false, nil
+}
+
+// execute prices q against the current serving snapshot and counts the
+// serve. Never blocks on the controller.
 func (s *Server) execute(q *query.Query) (sec float64, design string, cached bool, err error) {
 	sn := s.snap.Load()
 	if sn == nil {
 		return 0, "", false, errors.New("server: no design attached")
 	}
-	key := workload.Fingerprint(q)
-	if v, ok := sn.rates.Load(key); ok {
-		s.served.Add(1)
-		s.observe(q)
-		return v.(float64), sn.design.Name, true, nil
-	}
-	sec, err = adapt.MeasureTemplate(s.cfg.Common.St, s.cfg.Common.Disk, s.cfg.Adapt.Cache,
-		sn.model, sn.design, q)
+	rt, cached, err := s.price(sn, q)
 	if err != nil {
 		return 0, sn.design.Name, false, err
 	}
-	sn.rates.Store(key, sec)
 	s.served.Add(1)
 	s.observe(q)
-	return sec, sn.design.Name, false, nil
+	return rt.sec, sn.design.Name, cached, nil
 }
 
 // resolve turns a request body into an executable query: a full query
@@ -554,11 +598,17 @@ func (s *Server) resolve(body []byte) (*query.Query, error) {
 	return &q, nil
 }
 
-// statuszTraceEvents bounds how many trace events /statusz renders.
-const statuszTraceEvents = 32
+// statuszTraceEvents bounds how many trace events /statusz renders;
+// statuszTopK how many calibration lines.
+const (
+	statuszTraceEvents = 32
+	statuszTopK        = 5
+)
 
 // recentTrace renders the tail of the structured trace for /statusz,
-// oldest first; nil without a configured tracer.
+// oldest first; nil without a configured tracer. Lines are HTML-escaped:
+// event details can embed client-supplied query names, and a status page
+// pasted into anything that renders HTML must not carry live markup.
 func (s *Server) recentTrace() []string {
 	if s.cfg.Trace == nil {
 		return nil
@@ -569,7 +619,7 @@ func (s *Server) recentTrace() []string {
 	}
 	out := make([]string, len(evs))
 	for i, e := range evs {
-		out[i] = e.String()
+		out[i] = html.EscapeString(e.String())
 	}
 	return out
 }

@@ -20,6 +20,12 @@ type coordObs struct {
 	solverNodes   *obs.Counter
 
 	tenants *obs.Gauge
+
+	// routed attributes each tenant's templates to the design object the
+	// latest redesign routed them to (plan attribution, per tenant);
+	// solveGap tracks the most recent dual decomposition's duality gap.
+	routed   *obs.CounterVec
+	solveGap *obs.FloatGauge
 }
 
 func newCoordObs(r *obs.Registry) coordObs {
@@ -33,5 +39,8 @@ func newCoordObs(r *obs.Registry) coordObs {
 		solverNodes:   r.Counter("coradd_tenant_solver_nodes_total", "Branch-and-bound nodes across all selection solves (dual subproblems or pooled fallback)."),
 
 		tenants: r.Gauge("coradd_tenant_tenants", "Registered tenants."),
+
+		routed:   r.CounterVec("coradd_tenant_object_routed_total", "Templates routed to a design object at a redesign round, by tenant and object.", "tenant", "object"),
+		solveGap: r.FloatGauge("coradd_tenant_solve_gap", "Duality gap of the most recent Lagrangian decomposition round."),
 	}
 }

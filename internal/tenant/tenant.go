@@ -284,11 +284,19 @@ func (c *Coordinator) Redesign() (*Allocation, error) {
 			c.o.monolithic.Inc()
 		} else {
 			alloc.Method = "dual"
+			// The progress sink only mirrors per-round dual samples into the
+			// gap gauge; left nil without a registry so uninstrumented rounds
+			// keep the solvers on their unobserved paths.
+			var sink func(ilp.ProgressSample)
+			if c.cfg.Metrics != nil {
+				sink = func(ps ilp.ProgressSample) { c.o.solveGap.Set(ps.Gap()) }
+			}
 			ds := ilp.DualDecompose(probs, c.cfg.Budget, ilp.DualOptions{
 				Solve:      c.cfg.Solve,
 				Workers:    c.cfg.Workers,
 				MaxIters:   c.cfg.DualIters,
 				WarmStarts: warms,
+				Progress:   sink,
 			})
 			chosen = ds.Chosen
 			alloc.LowerBound, alloc.Gap, alloc.Lambda = ds.LowerBound, ds.Gap, ds.Lambda
@@ -317,6 +325,15 @@ func (c *Coordinator) Redesign() (*Allocation, error) {
 			SolverProven: alloc.Proven,
 		}
 		d = designer.Reroute(d, t.model, p.w)
+		// Per-tenant plan attribution: charge each template to the object
+		// the fresh routing serves it from ("base" for the base design).
+		for qi := range p.w {
+			obj := "base"
+			if ri := d.Routing[qi]; ri >= 0 {
+				obj = designs[ri].Name
+			}
+			c.o.routed.With(t.Name, obj).Inc()
+		}
 		t.lastChosen = designs
 		obj := p.prob.Objective(chosen[li])
 		alloc.Tenants[i] = TenantResult{

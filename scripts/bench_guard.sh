@@ -1,0 +1,66 @@
+#!/bin/sh
+# bench_guard.sh [pct] — regression guard over the fast benchmarks.
+#
+# Runs a short -benchtime 1s pass over the four benchmarks that finish in
+# seconds (Table1/Table2/Fig5/Fig6), then compares each ns/op against the
+# newest committed BENCH_*.json snapshot — which was recorded at the same
+# 1s benchtime, so amortization is comparable. Exits 1 if any benchmark
+# regressed by more than pct percent (default 25).
+#
+# Shared-runner timings are noisy — this is a guard against order-of-
+# magnitude accidents (an O(n^2) slip, a lost memoization), not a
+# microbenchmark harness; CI runs it non-blocking. scripts/bench.sh
+# remains the real trajectory recorder.
+set -eu
+
+PCT="${1:-25}"
+FAST='Table1SelectivityVectors|Table2Propagation|Fig5ILPvsGreedy|Fig6ILPScaling'
+
+# Latest snapshot = highest numeric suffix (mtimes are meaningless after
+# a fresh clone). Non-numeric suffixes (BENCH_ci.json) sort first and are
+# only picked when no numbered snapshot exists.
+BASE="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)"
+if [ -z "$BASE" ]; then
+    echo "bench_guard: no BENCH_*.json baseline found; nothing to guard" >&2
+    exit 0
+fi
+echo "bench_guard: baseline $BASE, threshold +${PCT}%"
+
+TXT="$(mktemp)"
+trap 'rm -f "$TXT"' EXIT
+go test -run NONE -bench "$FAST" -benchtime 1s . | tee "$TXT"
+
+awk -v base="$BASE" -v pct="$PCT" '
+# Baseline: pull ns_per_op per benchmark name out of the JSON snapshot.
+BEGIN {
+    while ((getline line < base) > 0) {
+        if (line !~ /"name"/) continue
+        name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+        ns = line; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+        want[name] = ns + 0
+    }
+    close(base)
+    bad = 0
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    now = $3 + 0
+    if (!(name in want)) {
+        printf "  %-36s %12.0f ns/op  (no baseline, skipped)\n", name, now
+        next
+    }
+    delta = 100 * (now - want[name]) / want[name]
+    verdict = "ok"
+    if (delta > pct) { verdict = "REGRESSED"; bad = 1 }
+    printf "  %-36s %12.0f ns/op  vs %12.0f  %+7.1f%%  %s\n", \
+        name, now, want[name], delta, verdict
+}
+END {
+    if (bad) {
+        printf "bench_guard: regression beyond +%s%% — investigate before merging\n", pct
+        exit 1
+    }
+    print "bench_guard: all fast benchmarks within threshold"
+}
+' "$TXT"

@@ -45,6 +45,20 @@ done
 DESIGN1=$(curl -fsS "$URL/statusz" | sed 's/.*"design":"\([^"]*\)".*/\1/')
 echo "serving design: $DESIGN1"
 
+echo "== /explain attribution =="
+# The attribution must name a real serving object: either the base table
+# or one of the deployed design's objects as listed by /design.
+EXPLAIN=$(curl -fsS "$URL/explain?template=Q2.1")
+echo "$EXPLAIN" | grep -q '"measured_seconds"' \
+    || { echo "/explain missing measurement: $EXPLAIN" >&2; exit 1; }
+OBJ=$(echo "$EXPLAIN" | sed 's/.*"object":"\([^"]*\)".*/\1/')
+if [ "$OBJ" != "base" ]; then
+    # -F: object names embed regex metacharacters (e.g. mv24_q[3 4]).
+    curl -fsS "$URL/design" | grep -qF "\"name\":\"$OBJ\"" \
+        || { echo "/explain object '$OBJ' not in /design" >&2; exit 1; }
+fi
+echo "Q2.1 served by: $OBJ"
+
 echo "== /metrics after load =="
 # The scrape must be Prometheus text and the request-latency histogram
 # must have counted the queries above — non-zero /query samples prove
